@@ -1,0 +1,67 @@
+// E1 — The AG baseline is Θ(n^2).
+//
+// Regenerates the paper's baseline claim (§1/§2): the generic state-optimal
+// protocol AG stabilises in Θ(n^2) parallel time whp.  We sweep n over a
+// dyadic range from two starting families and fit the power-law exponent,
+// expecting ~2.0; the t/n^2 column should be roughly flat.
+#include "bench_common.hpp"
+
+#include <cstdio>
+
+#include "protocols/factory.hpp"
+
+namespace pp::bench {
+namespace {
+
+int run(const Context& ctx) {
+  std::vector<u64> sizes{128, 256, 512, 1024, 2048, 4096};
+  if (ctx.quick()) sizes = {64, 128, 256, 512};
+  if (ctx.full()) sizes.push_back(8192);
+  const u64 trials = ctx.trials_or(ctx.quick() ? 3 : 7);
+
+  struct Series {
+    const char* name;
+    ConfigGenerator gen;
+  };
+  const Series series[] = {
+      {"uniform-random", gen_uniform_random()},
+      {"all-in-state-0", gen_all_in_state(0)},
+  };
+
+  for (const auto& s : series) {
+    Table t(std::string("E1 AG scaling, ") + s.name + " start");
+    t.headers({"n", "mean time", "ci95", "median", "q95", "timeouts",
+               "time/n^2"});
+    std::vector<SweepPoint> pts;
+    for (const u64 n : sizes) {
+      const SweepPoint p =
+          run_point(ctx, std::string("e1-") + s.name + "-" + std::to_string(n),
+                    n, static_cast<double>(n),
+                    [n] { return make_protocol("ag", n); }, s.gen, trials);
+      pts.push_back(p);
+      t.row()
+          .cell(p.n)
+          .cell(p.time.mean, 5)
+          .cell(p.time.ci95_halfwidth(), 3)
+          .cell(p.time.median, 5)
+          .cell(p.time.q95, 5)
+          .cell(p.timeouts)
+          .cell(p.time.mean / (static_cast<double>(n) * static_cast<double>(n)),
+                3);
+    }
+    emit(ctx, t);
+    report_fit(pts, s.name, "Theta(n^2)  => exponent ~ 2.0");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace pp::bench
+
+int main(int argc, char** argv) {
+  const auto ctx = pp::bench::init(
+      argc, argv, "E1: AG baseline scaling",
+      "Paper claim: the generic state-optimal ranking protocol AG "
+      "self-stabilises in Theta(n^2) parallel time whp.");
+  return pp::bench::run(ctx);
+}

@@ -1,0 +1,110 @@
+#include "bench_common.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace pp::bench {
+namespace {
+
+const char* env_or(const char* name, const char* fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? v : fallback;
+}
+
+}  // namespace
+
+Context init(int argc, char** argv, const std::string& experiment_id,
+             const std::string& claim) {
+  Context ctx;
+  ctx.trials = std::strtoull(env_or("POPRANK_TRIALS", "0"), nullptr, 10);
+  ctx.seed = std::strtoull(env_or("POPRANK_SEED", "0"), nullptr, 10);
+  if (ctx.seed == 0) ctx.seed = kDefaultRootSeed;
+  ctx.csv_dir = env_or("POPRANK_CSV_DIR", "");
+  if (std::strcmp(env_or("POPRANK_QUICK", "0"), "1") == 0) {
+    ctx.size = Context::Size::kQuick;
+  }
+  if (std::strcmp(env_or("POPRANK_FULL", "0"), "1") == 0) {
+    ctx.size = Context::Size::kFull;
+  }
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "--trials=", 9) == 0) {
+      ctx.trials = std::strtoull(a + 9, nullptr, 10);
+    } else if (std::strncmp(a, "--seed=", 7) == 0) {
+      ctx.seed = std::strtoull(a + 7, nullptr, 10);
+    } else if (std::strncmp(a, "--csv=", 6) == 0) {
+      ctx.csv_dir = a + 6;
+    } else if (std::strcmp(a, "--quick") == 0) {
+      ctx.size = Context::Size::kQuick;
+    } else if (std::strcmp(a, "--full") == 0) {
+      ctx.size = Context::Size::kFull;
+    } else {
+      std::fprintf(stderr,
+                   "unknown flag %s (known: --trials= --seed= --csv= "
+                   "--quick --full)\n",
+                   a);
+      std::exit(2);
+    }
+  }
+  std::printf("=======================================================\n");
+  std::printf("%s\n", experiment_id.c_str());
+  std::printf("%s\n", claim.c_str());
+  std::printf("root seed %llu | %s sweep%s\n",
+              static_cast<unsigned long long>(ctx.seed),
+              ctx.quick() ? "quick" : (ctx.full() ? "full" : "standard"),
+              ctx.trials ? " | trials overridden" : "");
+  std::printf("=======================================================\n\n");
+  return ctx;
+}
+
+SweepPoint run_point(const Context& ctx, const std::string& label, u64 n,
+                     double param, const ProtocolFactory& factory,
+                     const ConfigGenerator& gen, u64 trials,
+                     u64 max_interactions) {
+  MeasureOptions opt;
+  opt.trials = trials;
+  opt.root_seed = ctx.seed;
+  opt.label = label;
+  opt.max_interactions = max_interactions;
+  const Measurement m = measure(factory, gen, opt);
+  SweepPoint p;
+  p.n = n;
+  p.param = param;
+  p.time = m.summary();
+  p.timeouts = m.timeouts;
+  if (m.invalid != 0) {
+    std::fprintf(stderr, "WARNING: %llu invalid outcomes at %s\n",
+                 static_cast<unsigned long long>(m.invalid), label.c_str());
+  }
+  return p;
+}
+
+void add_row(Table& table, const SweepPoint& p, bool with_param) {
+  auto row = table.row();
+  row.cell(p.n);
+  if (with_param) row.cell(p.param, 6);
+  row.cell(p.time.mean, 5)
+      .cell(p.time.ci95_halfwidth(), 3)
+      .cell(p.time.median, 5)
+      .cell(p.time.q95, 5)
+      .cell(p.timeouts);
+}
+
+PowerFit report_fit(const std::vector<SweepPoint>& points,
+                    const std::string& series_name,
+                    const std::string& expectation) {
+  std::vector<double> x, y;
+  for (const auto& p : points) {
+    x.push_back(static_cast<double>(p.n));
+    y.push_back(p.time.mean);
+  }
+  const PowerFit f = fit_power(x, y);
+  std::printf("fit  [%s]: %s\n", series_name.c_str(), f.to_string().c_str());
+  std::printf("paper[%s]: %s\n\n", series_name.c_str(), expectation.c_str());
+  return f;
+}
+
+void emit(const Context& ctx, Table& table) { table.print(ctx.csv_dir); }
+
+}  // namespace pp::bench

@@ -1,0 +1,66 @@
+// Shared plumbing for the benchmark binaries.
+//
+// Every bench accepts the same knobs (flags override environment):
+//   --trials=N / POPRANK_TRIALS       trials per measurement point
+//   --seed=S   / POPRANK_SEED        root seed (printed for reproduction)
+//   --csv=DIR  / POPRANK_CSV_DIR     also dump every table as CSV
+//   --quick    / POPRANK_QUICK=1     smaller sweeps (CI-sized)
+//   --full     / POPRANK_FULL=1      larger sweeps (paper-sized)
+//
+// Default sweeps are calibrated to finish each binary in well under a
+// minute on one laptop core.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/experiment.hpp"
+#include "analysis/fit.hpp"
+#include "analysis/table.hpp"
+#include "common/types.hpp"
+
+namespace pp::bench {
+
+struct Context {
+  u64 trials = 0;  ///< 0 = per-bench default
+  u64 seed = kDefaultRootSeed;
+  std::string csv_dir;
+  enum class Size { kQuick, kStandard, kFull } size = Size::kStandard;
+
+  u64 trials_or(u64 fallback) const { return trials != 0 ? trials : fallback; }
+  bool quick() const { return size == Size::kQuick; }
+  bool full() const { return size == Size::kFull; }
+};
+
+/// Parses flags/environment and prints the experiment banner.
+Context init(int argc, char** argv, const std::string& experiment_id,
+             const std::string& claim);
+
+/// One sweep point: runs `trials` stabilisations and returns the row data.
+struct SweepPoint {
+  u64 n = 0;
+  double param = 0;  ///< free axis (k, trap count, ... ; n if unused)
+  Summary time;      ///< parallel stabilisation times
+  u64 timeouts = 0;
+};
+
+/// Measures one (protocol factory, generator) point.
+SweepPoint run_point(const Context& ctx, const std::string& label, u64 n,
+                     double param, const ProtocolFactory& factory,
+                     const ConfigGenerator& gen, u64 trials,
+                     u64 max_interactions = ~static_cast<u64>(0));
+
+/// Adds the standard columns of a sweep point to a table row:
+/// n, param (skipped when negative), mean, ci95, median, q95, timeouts.
+void add_row(Table& table, const SweepPoint& p, bool with_param);
+
+/// Fits mean time ~ n^b over sweep points and prints the verdict line
+/// against the paper's expectation.
+PowerFit report_fit(const std::vector<SweepPoint>& points,
+                    const std::string& series_name,
+                    const std::string& expectation);
+
+/// Prints a table (and CSV if enabled).
+void emit(const Context& ctx, Table& table);
+
+}  // namespace pp::bench

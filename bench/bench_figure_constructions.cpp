@@ -1,0 +1,90 @@
+// F1 & F2 — the paper's two figures, regenerated.
+//
+// Figure 1 (§4.2): the cubic routing graph G on m^2 vertices built from a
+// balanced full binary tree by merging the root with a leaf and adding a
+// cycle over the remaining leaves; diameter <= 4 ceil(log m).
+//
+// Figure 2 (§5): the perfectly balanced binary tree of ranks for n = 9 with
+// pre-order state numbering.
+#include "bench_common.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "structures/balanced_tree.hpp"
+#include "structures/routing_graph.hpp"
+
+namespace pp::bench {
+namespace {
+
+int run(const Context& ctx) {
+  // --- F2: the tree of ranks, n = 9 (exact Figure 2) -------------------
+  std::printf("--- F2: perfectly balanced tree of ranks, n = 9 ---\n");
+  BalancedTree fig2(9);
+  std::printf("%s\n", fig2.to_string().c_str());
+  std::printf("(paper Figure 2: 0 branches to {1, 5}; 1 -> 2 -> {3, 4}; "
+              "5 -> 6 -> {7, 8})\n\n");
+
+  {
+    Table t("F2 tree-of-ranks height vs the 2 log2 n bound");
+    t.headers({"n", "height", "2 log2 n", "leaves", "branching nodes"});
+    for (const u64 n : {9u, 100u, 1000u, 10000u, 100000u, 1000000u}) {
+      BalancedTree tree(n);
+      u64 branching = 0;
+      for (StateId p = 0; p < n; ++p) {
+        if (tree.is_branching(p)) ++branching;
+      }
+      t.row()
+          .cell(n)
+          .cell(static_cast<u64>(tree.height()))
+          .cell(2.0 * std::log2(static_cast<double>(n)), 4)
+          .cell(static_cast<u64>(tree.leaves().size()))
+          .cell(branching);
+    }
+    emit(ctx, t);
+  }
+
+  // --- F1: the routing graph G, m^2 = 16 (Figure 1's size) -------------
+  std::printf("--- F1: routing graph G for m^2 = 16 (m = 4) ---\n");
+  RoutingGraph fig1(4);
+  std::printf("adjacency (vertex: three neighbour slots l0 l1 l2):\n%s\n",
+              fig1.to_string().c_str());
+  std::printf("connected: %s, diameter: %u (bound 4 ceil(log2 m) = %u)\n\n",
+              fig1.connected() ? "yes" : "NO", fig1.diameter(),
+              4u * static_cast<u32>(std::ceil(std::log2(4.0))));
+
+  {
+    Table t("F1 routing graph G: cubic + logarithmic diameter");
+    t.headers({"m", "vertices", "cubic", "connected", "diameter",
+               "4 ceil(log2 m)"});
+    for (const u64 m : {2u, 4u, 6u, 8u, 12u, 16u, 24u, 32u}) {
+      RoutingGraph g(m);
+      bool cubic = true;
+      for (u32 v = 0; v < g.num_vertices(); ++v) {
+        cubic = cubic && g.neighbours(v).size() == 3;
+      }
+      t.row()
+          .cell(m)
+          .cell(g.num_vertices())
+          .cell(std::string(cubic ? "yes" : "NO"))
+          .cell(std::string(g.connected() ? "yes" : "NO"))
+          .cell(static_cast<u64>(g.diameter()))
+          .cell(static_cast<u64>(
+              4 * static_cast<u64>(std::ceil(std::log2(
+                      static_cast<double>(m))))));
+    }
+    emit(ctx, t);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace pp::bench
+
+int main(int argc, char** argv) {
+  const auto ctx = pp::bench::init(
+      argc, argv, "F1+F2: the paper's combinatorial constructions",
+      "Figure 1 (routing graph G) and Figure 2 (perfectly balanced tree of "
+      "ranks), regenerated and verified.");
+  return pp::bench::run(ctx);
+}

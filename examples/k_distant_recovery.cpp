@@ -1,0 +1,53 @@
+// Section 3's scenario: recovery from k faults with zero extra states.
+//
+// A stabilised population of n agents loses k of its ranks (k agents are
+// displaced onto already-held ranks).  Theorem 1: the state-optimal
+// ring-of-traps protocol re-ranks everyone in O(k n^{3/2}) parallel time —
+// the fewer the faults, the faster the recovery, with no extra state cost.
+//
+//   $ ./k_distant_recovery [n] [trials]
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "analysis/stats.hpp"
+#include "core/engine.hpp"
+#include "core/initial.hpp"
+#include "protocols/ring_of_traps.hpp"
+#include "rng/seed_sequence.hpp"
+
+int main(int argc, char** argv) {
+  const pp::u64 n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 2256;
+  const pp::u64 trials = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 5;
+
+  std::printf("ring-of-traps recovery from k-distant configurations, n=%llu\n",
+              static_cast<unsigned long long>(n));
+  std::printf("(paper Theorem 1: O(k n^{3/2}) whp; AG would need ~n^2 = %.3g "
+              "regardless of k)\n\n",
+              static_cast<double>(n) * static_cast<double>(n));
+  std::printf("%8s %14s %14s %16s\n", "k", "mean time", "max time",
+              "time/(k n^1.5)");
+
+  const double n15 = std::pow(static_cast<double>(n), 1.5);
+  for (pp::u64 k = 1; k <= n / 8; k *= 2) {
+    std::vector<double> times;
+    for (pp::u64 t = 0; t < trials; ++t) {
+      pp::Rng rng(pp::derive_seed(1234, "k-distant-recovery", k * 1000 + t));
+      pp::RingOfTrapsProtocol protocol(n);
+      protocol.reset(pp::initial::k_distant(protocol, k, rng));
+      const pp::RunResult r = pp::run_accelerated(protocol, rng);
+      if (!r.valid) {
+        std::fprintf(stderr, "unexpected invalid outcome!\n");
+        return 1;
+      }
+      times.push_back(r.parallel_time);
+    }
+    const pp::Summary s = pp::summarize(times);
+    std::printf("%8llu %14.1f %14.1f %16.4f\n",
+                static_cast<unsigned long long>(k), s.mean, s.max,
+                s.mean / (static_cast<double>(k) * n15));
+  }
+  std::printf("\nreading guide: recovery cost scales with the damage k "
+              "(last column bounded), as Theorem 1 predicts.\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Prints the paper's combinatorial gadgets: the perfectly balanced tree of
+// ranks (Figure 2), the routing graph G (Figure 1), and a ring-of-traps
+// layout, with their key invariants.
+//
+//   $ ./visualize_structures [tree_n] [graph_m]
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "structures/balanced_tree.hpp"
+#include "structures/ring_layout.hpp"
+#include "structures/routing_graph.hpp"
+
+int main(int argc, char** argv) {
+  const pp::u64 tree_n =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 9;
+  const pp::u64 graph_m =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 4;
+
+  std::printf("=== perfectly balanced tree of ranks, n = %llu "
+              "(paper Figure 2 uses n = 9) ===\n",
+              static_cast<unsigned long long>(tree_n));
+  pp::BalancedTree tree(tree_n);
+  std::printf("%s", tree.to_string().c_str());
+  std::printf("height %u <= 2 log2 n = %.2f; %zu leaves\n\n", tree.height(),
+              2.0 * std::log2(static_cast<double>(tree_n)),
+              tree.leaves().size());
+
+  std::printf("=== routing graph G, m = %llu -> %llu lines "
+              "(paper Figure 1 uses m^2 = 16) ===\n",
+              static_cast<unsigned long long>(graph_m),
+              static_cast<unsigned long long>(graph_m * graph_m));
+  pp::RoutingGraph graph(graph_m);
+  std::printf("%s", graph.to_string().c_str());
+  std::printf("cubic multigraph, connected: %s, diameter %u "
+              "(paper bound 4 ceil(log2 m) = %.0f)\n\n",
+              graph.connected() ? "yes" : "NO", graph.diameter(),
+              4.0 * std::ceil(std::log2(static_cast<double>(graph_m))));
+
+  const pp::u64 ring_n = 30;
+  std::printf("=== ring of traps, n = %llu ===\n",
+              static_cast<unsigned long long>(ring_n));
+  pp::RingLayout ring(ring_n);
+  for (pp::u64 a = 0; a < ring.num_traps(); ++a) {
+    std::printf("trap %llu: gate state %u, inner states %u..%u, next gate "
+                "%u\n",
+                static_cast<unsigned long long>(a), ring.gate(a),
+                ring.gate(a) + 1, ring.top(a), ring.next_gate(a));
+  }
+  std::printf("(gate rule ejects every other agent to the next trap; inner "
+              "rules trap agents permanently — paper section 3.1)\n");
+  return 0;
+}

@@ -1,0 +1,126 @@
+#include "analysis/exact.hpp"
+
+#include <cmath>
+#include <map>
+#include <queue>
+
+#include "common/assert.hpp"
+
+namespace pp {
+namespace {
+
+// Sparse row of the embedded (productive-only) jump chain.
+struct Row {
+  // (target configuration index, weight w_j); weights sum to W.
+  std::vector<std::pair<u64, u64>> targets;
+  u64 weight = 0;  // W(c); 0 <=> silent
+};
+
+}  // namespace
+
+ExactAnalysis analyze_exact(const Protocol& p, const Configuration& start,
+                            const ExactOptions& opt) {
+  PP_ASSERT(start.num_states() == p.num_states());
+  PP_ASSERT(start.agents() == p.num_agents());
+  const u64 n = p.num_agents();
+  const u64 states = p.num_states();
+  const double pairs = static_cast<double>(n) * static_cast<double>(n - 1);
+
+  // --- 1. enumerate the reachable set (BFS over configurations) --------
+  std::map<std::vector<u64>, u64> index_of;
+  std::vector<std::vector<u64>> configs;
+  std::vector<Row> rows;
+  std::queue<u64> frontier;
+
+  auto intern = [&](const std::vector<u64>& c) -> u64 {
+    const auto [it, inserted] = index_of.emplace(c, configs.size());
+    if (inserted) {
+      PP_ASSERT_MSG(configs.size() < opt.max_configurations,
+                    "exact analysis: reachable set too large");
+      configs.push_back(c);
+      rows.emplace_back();
+      frontier.push(it->second);
+    }
+    return it->second;
+  };
+
+  intern(start.counts);
+  while (!frontier.empty()) {
+    const u64 idx = frontier.front();
+    frontier.pop();
+    // Copy: `configs` may reallocate while we intern successors.
+    const std::vector<u64> c = configs[idx];
+    // Aggregate successor weights before storing (several ordered pairs
+    // can lead to the same configuration).
+    std::map<std::vector<u64>, u64> successors;
+    u64 total_weight = 0;
+    for (StateId s1 = 0; s1 < states; ++s1) {
+      if (c[s1] == 0) continue;
+      for (StateId s2 = 0; s2 < states; ++s2) {
+        const u64 c2 = c[s2] - (s1 == s2 ? 1 : 0);
+        if (c[s2] == 0 || c2 == 0) continue;
+        const auto [o1, o2] = p.transition(s1, s2);
+        if (o1 == s1 && o2 == s2) continue;
+        const u64 w = c[s1] * c2;
+        std::vector<u64> next = c;
+        --next[s1];
+        --next[s2];
+        ++next[o1];
+        ++next[o2];
+        successors[std::move(next)] += w;
+        total_weight += w;
+      }
+    }
+    // Intern successors BEFORE touching rows[idx]: intern() appends to
+    // `rows` and may reallocate it.
+    std::vector<std::pair<u64, u64>> targets;
+    targets.reserve(successors.size());
+    for (const auto& [next, w] : successors) {
+      targets.emplace_back(intern(next), w);
+    }
+    rows[idx].weight = total_weight;
+    rows[idx].targets = std::move(targets);
+  }
+
+  ExactAnalysis out;
+  out.reachable_configurations = configs.size();
+  for (u64 i = 0; i < configs.size(); ++i) {
+    if (rows[i].weight == 0) {
+      ++out.silent_configurations;
+      if (!is_valid_ranking(Configuration(configs[i]), p.num_ranks())) {
+        out.all_silent_are_rankings = false;
+      }
+    }
+  }
+
+  // --- 2. Gauss-Seidel on E[c] = D/W + sum (w_j/W) E[j] ------------------
+  std::vector<double> e(configs.size(), 0.0);
+  double delta = opt.epsilon + 1;
+  while (delta > opt.epsilon && out.iterations < opt.max_iterations) {
+    delta = 0;
+    ++out.iterations;
+    // Sweep in reverse insertion order: BFS tends to discover
+    // later-in-trajectory configurations later, so reverse sweeps
+    // propagate absorption values faster.
+    for (u64 i = configs.size(); i-- > 0;) {
+      const Row& row = rows[i];
+      if (row.weight == 0) continue;
+      double v = pairs;  // expected interactions to leave c, times W... :
+      // E_interactions[c] = D/W + sum (w_j/W) E[j]  ==  (D + sum w_j E[j])/W
+      for (const auto& [j, w] : row.targets) {
+        v += static_cast<double>(w) * e[j];
+      }
+      v /= static_cast<double>(row.weight);
+      const double d = std::fabs(v - e[i]);
+      if (d > delta) delta = d;
+      e[i] = v;
+    }
+  }
+  PP_ASSERT_MSG(out.iterations < opt.max_iterations,
+                "exact analysis failed to converge");
+
+  out.expected_parallel_time = e[0] / static_cast<double>(n);
+  return out;
+}
+
+}  // namespace pp

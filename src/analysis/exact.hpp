@@ -1,0 +1,61 @@
+// Exact Markov-chain analysis of small populations.
+//
+// A population protocol under the uniform random scheduler is a Markov
+// chain on configurations (count vectors).  For small n the chain is tiny
+// — configurations of n agents over S states number C(n+S-1, n) — so the
+// expected stabilisation time can be computed *exactly* and used as ground
+// truth for the Monte-Carlo engines:
+//
+//   E[c] = 0                                   if c is silent,
+//   E[c] = D/W(c) + sum_j (w_j / W(c)) E[c_j]  otherwise,
+//
+// where D = n(n-1), W(c) is the configuration's productive weight, and w_j
+// the weight of the productive transition to configuration c_j (null
+// interactions are folded into the D/W(c) holding time).  The system is
+// solved by Gauss–Seidel iteration over the reachable set, which converges
+// because silence is absorbing and reachable from everywhere (the
+// protocols are stable).
+//
+// Everything here runs on the protocol's formal transition function δ
+// only — fully independent of the optimized count/Fenwick machinery, like
+// the agent-level simulator.
+#pragma once
+
+#include <vector>
+
+#include "core/configuration.hpp"
+#include "core/protocol.hpp"
+
+namespace pp {
+
+struct ExactAnalysis {
+  /// Expected parallel stabilisation time from the requested start
+  /// (expected interactions / n).
+  double expected_parallel_time = 0;
+  /// Number of configurations reachable from the start (silent ones
+  /// included).
+  u64 reachable_configurations = 0;
+  /// Number of reachable silent configurations.  For a correct ranking
+  /// protocol started with n agents this is exactly 1 (the ranking).
+  u64 silent_configurations = 0;
+  /// True if every reachable silent configuration is a valid ranking.
+  bool all_silent_are_rankings = true;
+  /// Gauss-Seidel sweeps needed to converge.
+  u64 iterations = 0;
+};
+
+struct ExactOptions {
+  /// Abort (via PP_ASSERT) if the reachable set exceeds this size.
+  u64 max_configurations = 2'000'000;
+  /// Convergence threshold on the max absolute change per sweep,
+  /// in units of interactions.
+  double epsilon = 1e-9;
+  u64 max_iterations = 1'000'000;
+};
+
+/// Enumerates the configurations reachable from `start` under δ and solves
+/// for the expected absorption (stabilisation) time.
+ExactAnalysis analyze_exact(const Protocol& p, const Configuration& start,
+                            const ExactOptions& opt = {});
+
+}  // namespace pp

@@ -1,0 +1,55 @@
+// The experiment sweep runner: repeated stabilisation measurements with
+// disciplined seeding.
+//
+// A measurement point is (protocol factory, initial-configuration
+// generator, number of trials).  Each trial t derives its own seed from
+// (root seed, label, t), builds a fresh protocol instance, generates a
+// starting configuration, and runs the accelerated engine to silence (or
+// budget).  Results are parallel times (interactions / n) plus bookkeeping
+// about timeouts/invalid outcomes (which, for a correct implementation,
+// never happen — the harness still reports them rather than trusting).
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "analysis/stats.hpp"
+#include "core/engine.hpp"
+#include "core/protocol.hpp"
+#include "rng/seed_sequence.hpp"
+
+namespace pp {
+
+using ProtocolFactory = std::function<ProtocolPtr()>;
+using ConfigGenerator = std::function<Configuration(const Protocol&, Rng&)>;
+
+struct MeasureOptions {
+  u64 trials = 10;
+  u64 root_seed = kDefaultRootSeed;
+  std::string label;  ///< seed-derivation namespace; set it per experiment
+  u64 max_interactions = ~static_cast<u64>(0);
+};
+
+struct Measurement {
+  std::vector<double> parallel_times;  ///< one per completed trial
+  u64 timeouts = 0;  ///< trials that exhausted max_interactions
+  u64 invalid = 0;   ///< trials that went silent in a non-ranking (never
+                     ///< expected; reported, not assumed away)
+  Summary summary() const { return summarize(parallel_times); }
+};
+
+/// Runs `opt.trials` stabilisation trials; timed-out trials contribute
+/// their (censored) budget time to parallel_times and are counted in
+/// `timeouts`.
+Measurement measure(const ProtocolFactory& make_protocol,
+                    const ConfigGenerator& make_config,
+                    const MeasureOptions& opt);
+
+/// Convenience generators matching core/initial.hpp.
+ConfigGenerator gen_uniform_random();
+ConfigGenerator gen_uniform_random_ranks();
+ConfigGenerator gen_k_distant(u64 k);
+ConfigGenerator gen_all_in_state(StateId s);
+ConfigGenerator gen_all_in_last_state();
+
+}  // namespace pp

@@ -1,0 +1,61 @@
+#include "analysis/fit.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace pp {
+
+LinearFit fit_linear(std::span<const double> x, std::span<const double> y) {
+  PP_ASSERT(x.size() == y.size());
+  PP_ASSERT(x.size() >= 2);
+  const double n = static_cast<double>(x.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (u64 i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  PP_ASSERT_MSG(denom != 0.0, "degenerate x values in linear fit");
+  LinearFit f;
+  f.slope = (n * sxy - sx * sy) / denom;
+  f.intercept = (sy - f.slope * sx) / n;
+  double ss_res = 0, ss_tot = 0;
+  const double ybar = sy / n;
+  for (u64 i = 0; i < x.size(); ++i) {
+    const double pred = f.slope * x[i] + f.intercept;
+    ss_res += (y[i] - pred) * (y[i] - pred);
+    ss_tot += (y[i] - ybar) * (y[i] - ybar);
+  }
+  f.r2 = ss_tot == 0.0 ? 1.0 : 1.0 - ss_res / ss_tot;
+  return f;
+}
+
+PowerFit fit_power(std::span<const double> x, std::span<const double> y) {
+  PP_ASSERT(x.size() == y.size());
+  std::vector<double> lx(x.size()), ly(y.size());
+  for (u64 i = 0; i < x.size(); ++i) {
+    PP_ASSERT_MSG(x[i] > 0 && y[i] > 0, "power fit needs positive data");
+    lx[i] = std::log(x[i]);
+    ly[i] = std::log(y[i]);
+  }
+  const LinearFit lin = fit_linear(lx, ly);
+  PowerFit f;
+  f.exponent = lin.slope;
+  f.prefactor = std::exp(lin.intercept);
+  f.r2 = lin.r2;
+  return f;
+}
+
+std::string PowerFit::to_string() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "y ~ %.3g * x^%.3f (R^2=%.4f)", prefactor,
+                exponent, r2);
+  return buf;
+}
+
+}  // namespace pp

@@ -1,0 +1,33 @@
+// Least-squares fits used to compare measured scaling curves against the
+// paper's asymptotic exponents (e.g. AG parallel time ~ n^2 should fit a
+// log-log slope of ~2.0).
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace pp {
+
+struct LinearFit {
+  double slope = 0;
+  double intercept = 0;
+  double r2 = 0;  ///< coefficient of determination
+};
+
+/// Ordinary least squares y = slope * x + intercept.  Requires >= 2 points.
+LinearFit fit_linear(std::span<const double> x, std::span<const double> y);
+
+struct PowerFit {
+  double exponent = 0;   ///< b in y ~ a * x^b
+  double prefactor = 0;  ///< a
+  double r2 = 0;         ///< of the underlying log-log linear fit
+  std::string to_string() const;
+};
+
+/// Fits y ~ a * x^b by linear regression in log-log space.  All inputs must
+/// be strictly positive.
+PowerFit fit_power(std::span<const double> x, std::span<const double> y);
+
+}  // namespace pp

@@ -1,0 +1,68 @@
+#include "analysis/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/assert.hpp"
+
+namespace pp {
+
+double quantile_sorted(std::span<const double> sorted, double q) {
+  PP_ASSERT(!sorted.empty());
+  PP_ASSERT(q >= 0.0 && q <= 1.0);
+  if (sorted.size() == 1) return sorted[0];
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const u64 lo = static_cast<u64>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
+
+double mean_of(std::span<const double> samples) {
+  PP_ASSERT(!samples.empty());
+  double sum = 0;
+  for (const double x : samples) sum += x;
+  return sum / static_cast<double>(samples.size());
+}
+
+double stddev_of(std::span<const double> samples) {
+  if (samples.size() < 2) return 0.0;
+  const double mu = mean_of(samples);
+  double ss = 0;
+  for (const double x : samples) ss += (x - mu) * (x - mu);
+  return std::sqrt(ss / static_cast<double>(samples.size() - 1));
+}
+
+Summary summarize(std::span<const double> samples) {
+  PP_ASSERT(!samples.empty());
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+  Summary s;
+  s.count = sorted.size();
+  s.mean = mean_of(sorted);
+  s.stddev = stddev_of(sorted);
+  s.min = sorted.front();
+  s.q25 = quantile_sorted(sorted, 0.25);
+  s.median = quantile_sorted(sorted, 0.50);
+  s.q75 = quantile_sorted(sorted, 0.75);
+  s.q95 = quantile_sorted(sorted, 0.95);
+  s.max = sorted.back();
+  return s;
+}
+
+double Summary::ci95_halfwidth() const {
+  if (count < 2) return 0.0;
+  return 1.96 * stddev / std::sqrt(static_cast<double>(count));
+}
+
+std::string Summary::to_string() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "n=%llu mean=%.4g +/-%.2g median=%.4g [%.4g, %.4g]",
+                static_cast<unsigned long long>(count), mean,
+                ci95_halfwidth(), median, min, max);
+  return buf;
+}
+
+}  // namespace pp

@@ -1,0 +1,39 @@
+// Summary statistics for experiment samples.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace pp {
+
+struct Summary {
+  u64 count = 0;
+  double mean = 0;
+  double stddev = 0;  ///< sample standard deviation (n-1 denominator)
+  double min = 0;
+  double q25 = 0;
+  double median = 0;
+  double q75 = 0;
+  double q95 = 0;
+  double max = 0;
+
+  /// Half-width of the normal-approximation 95% confidence interval of the
+  /// mean (1.96 * stddev / sqrt(count)).
+  double ci95_halfwidth() const;
+
+  std::string to_string() const;
+};
+
+/// Computes a Summary; `samples` may be unsorted and is left untouched.
+Summary summarize(std::span<const double> samples);
+
+/// Linear-interpolation quantile of a *sorted* sample, q in [0, 1].
+double quantile_sorted(std::span<const double> sorted, double q);
+
+double mean_of(std::span<const double> samples);
+double stddev_of(std::span<const double> samples);
+
+}  // namespace pp

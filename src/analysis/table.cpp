@@ -1,0 +1,114 @@
+#include "analysis/table.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace pp {
+
+Table& Table::headers(std::vector<std::string> h) {
+  headers_ = std::move(h);
+  return *this;
+}
+
+Table::RowBuilder& Table::RowBuilder::cell(std::string v) {
+  row_.push_back(std::move(v));
+  return *this;
+}
+
+Table::RowBuilder& Table::RowBuilder::cell(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+  row_.emplace_back(buf);
+  return *this;
+}
+
+Table::RowBuilder& Table::RowBuilder::cell(u64 v) {
+  row_.push_back(std::to_string(v));
+  return *this;
+}
+
+Table::RowBuilder& Table::RowBuilder::cell(i64 v) {
+  row_.push_back(std::to_string(v));
+  return *this;
+}
+
+Table::RowBuilder Table::row() {
+  rows_.emplace_back();
+  return RowBuilder(rows_.back());
+}
+
+std::string Table::to_string() const {
+  std::vector<u64> width(headers_.size(), 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    for (u64 i = 0; i < row.size() && i < width.size(); ++i) {
+      if (row[i].size() > width[i]) width[i] = row[i].size();
+    }
+  };
+  widen(headers_);
+  for (const auto& r : rows_) widen(r);
+
+  std::ostringstream out;
+  out << "== " << title_ << " ==\n";
+  auto emit = [&](const std::vector<std::string>& row) {
+    out << "|";
+    for (u64 i = 0; i < width.size(); ++i) {
+      const std::string& v = i < row.size() ? row[i] : std::string();
+      out << ' ' << v << std::string(width[i] - v.size(), ' ') << " |";
+    }
+    out << '\n';
+  };
+  emit(headers_);
+  out << "|";
+  for (const u64 w : width) out << std::string(w + 2, '-') << "|";
+  out << '\n';
+  for (const auto& r : rows_) emit(r);
+  return std::move(out).str();
+}
+
+std::string Table::to_csv() const {
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (u64 i = 0; i < row.size(); ++i) {
+      if (i > 0) out << ',';
+      out << row[i];
+    }
+    out << '\n';
+  };
+  emit(headers_);
+  for (const auto& r : rows_) emit(r);
+  return std::move(out).str();
+}
+
+void Table::print(const std::string& csv_dir) const {
+  std::fputs(to_string().c_str(), stdout);
+  std::fputc('\n', stdout);
+  if (!csv_dir.empty()) {
+    const std::string path = csv_dir + "/" + slugify(title_) + ".csv";
+    std::ofstream f(path);
+    if (f) f << to_csv();
+  }
+}
+
+std::string slugify(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  bool dash = false;
+  for (const char c : s) {
+    if (std::isalnum(static_cast<unsigned char>(c)) != 0) {
+      out.push_back(
+          static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+      dash = false;
+    } else if (!dash && !out.empty()) {
+      out.push_back('-');
+      dash = true;
+    }
+  }
+  while (!out.empty() && out.back() == '-') out.pop_back();
+  return out;
+}
+
+}  // namespace pp

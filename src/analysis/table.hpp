@@ -1,0 +1,54 @@
+// ASCII tables + CSV export for the benchmark harness — every bench binary
+// prints the paper-style rows through this module so EXPERIMENTS.md can
+// quote them verbatim.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace pp {
+
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  Table& headers(std::vector<std::string> h);
+
+  /// Row builder: push cells left to right.
+  class RowBuilder {
+   public:
+    RowBuilder& cell(std::string v);
+    RowBuilder& cell(double v, int precision = 4);
+    RowBuilder& cell(u64 v);
+    RowBuilder& cell(i64 v);
+
+   private:
+    friend class Table;
+    explicit RowBuilder(std::vector<std::string>& row) : row_(row) {}
+    std::vector<std::string>& row_;
+  };
+
+  RowBuilder row();
+
+  /// Aligned, boxed rendering.
+  std::string to_string() const;
+
+  /// RFC-4180-ish CSV (no quoting needed for our numeric content).
+  std::string to_csv() const;
+
+  /// Prints to stdout (to_string) and, if `csv_dir` is non-empty, writes
+  /// `<csv_dir>/<slug(title)>.csv`.
+  void print(const std::string& csv_dir = "") const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Lower-cases, replaces non-alphanumerics with '-'.
+std::string slugify(const std::string& s);
+
+}  // namespace pp

@@ -1,0 +1,58 @@
+#include "analysis/timeline.hpp"
+
+namespace pp {
+
+std::function<bool(const Protocol&, u64)> Timeline::observer() {
+  return [this](const Protocol& p, u64 interactions) {
+    const double t = static_cast<double>(interactions) /
+                     static_cast<double>(p.num_agents());
+    if (t >= next_) {
+      snapshot(p, t);
+      while (next_ <= t) next_ *= ratio_;
+    }
+    return true;
+  };
+}
+
+void Timeline::snapshot(const Protocol& p, double time) {
+  TimelineSample s;
+  s.time = time;
+  const auto& counts = p.counts();
+  for (u64 st = 0; st < p.num_states(); ++st) {
+    const u64 c = counts[st];
+    if (c > s.max_load) s.max_load = c;
+    if (st < p.num_ranks()) {
+      if (c > 0) {
+        ++s.ranks_held;
+      } else {
+        ++s.k_distance;
+      }
+    } else {
+      s.extra_agents += c;
+    }
+  }
+  s.weight = p.productive_weight();
+  samples_.push_back(s);
+}
+
+void Timeline::finish(const Protocol& p, const RunResult& r) {
+  snapshot(p, r.parallel_time);
+}
+
+Table Timeline::to_table(const std::string& title) const {
+  Table t(title);
+  t.headers({"time", "ranks held", "k-distance", "max load", "extra agents",
+             "weight"});
+  for (const auto& s : samples_) {
+    t.row()
+        .cell(s.time, 5)
+        .cell(s.ranks_held)
+        .cell(s.k_distance)
+        .cell(s.max_load)
+        .cell(s.extra_agents)
+        .cell(s.weight);
+  }
+  return t;
+}
+
+}  // namespace pp

@@ -1,0 +1,61 @@
+// Convergence timelines: how a population organises itself over time.
+//
+// A Timeline is an engine observer that snapshots cheap configuration
+// metrics at geometrically spaced parallel times (so a Θ(n^2) run yields
+// ~2 log n rows, not n^2):
+//
+//   time            parallel time of the snapshot
+//   ranks_held      number of rank states occupied by >= 1 agent
+//   max_load        largest number of agents in any single state
+//   extra_agents    agents currently in extra states
+//   k_distance      unoccupied rank states (the paper's k)
+//   weight          productive ordered pairs (0 = silent)
+//
+// Used by the quickstart example and the CLI; also handy for eyeballing the
+// tree protocol's reset waves (ranks_held collapses to 0, then regrows).
+#pragma once
+
+#include <vector>
+
+#include "analysis/table.hpp"
+#include "core/engine.hpp"
+#include "core/protocol.hpp"
+
+namespace pp {
+
+struct TimelineSample {
+  double time = 0;
+  u64 ranks_held = 0;
+  u64 max_load = 0;
+  u64 extra_agents = 0;
+  u64 k_distance = 0;
+  u64 weight = 0;
+};
+
+class Timeline {
+ public:
+  /// Snapshots at parallel times ~ first, first*ratio, first*ratio^2, ...
+  explicit Timeline(double first = 1.0, double ratio = 2.0)
+      : next_(first), ratio_(ratio) {}
+
+  /// Engine observer; wire as `options.on_change = timeline.observer()`.
+  /// A final snapshot is appended by finish().
+  std::function<bool(const Protocol&, u64)> observer();
+
+  /// Appends the final configuration (call after the run).
+  void finish(const Protocol& p, const RunResult& r);
+
+  const std::vector<TimelineSample>& samples() const { return samples_; }
+
+  /// Renders as a Table titled `title`.
+  Table to_table(const std::string& title) const;
+
+ private:
+  void snapshot(const Protocol& p, double time);
+
+  std::vector<TimelineSample> samples_;
+  double next_;
+  double ratio_;
+};
+
+}  // namespace pp

@@ -1,0 +1,13 @@
+#include "common/assert.hpp"
+
+namespace pp::detail {
+
+void assert_fail(const char* expr, const char* file, int line,
+                 const char* msg) {
+  std::fprintf(stderr, "poprank assertion failed: %s\n  at %s:%d\n", expr,
+               file, line);
+  if (msg != nullptr) std::fprintf(stderr, "  %s\n", msg);
+  std::abort();
+}
+
+}  // namespace pp::detail

@@ -1,0 +1,37 @@
+// Lightweight always-on assertion macro.
+//
+// The simulator's correctness argument leans on structural invariants
+// (weights never underflow, counts always sum to n, ...).  These checks are
+// cheap relative to random-number generation, so we keep them enabled in all
+// build types; hot inner loops use PP_DCHECK which compiles out in NDEBUG.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace pp::detail {
+
+[[noreturn]] void assert_fail(const char* expr, const char* file, int line,
+                              const char* msg);
+
+}  // namespace pp::detail
+
+#define PP_ASSERT(expr)                                                     \
+  do {                                                                      \
+    if (!(expr)) [[unlikely]]                                               \
+      ::pp::detail::assert_fail(#expr, __FILE__, __LINE__, nullptr);        \
+  } while (0)
+
+#define PP_ASSERT_MSG(expr, msg)                                            \
+  do {                                                                      \
+    if (!(expr)) [[unlikely]]                                               \
+      ::pp::detail::assert_fail(#expr, __FILE__, __LINE__, (msg));          \
+  } while (0)
+
+#ifdef NDEBUG
+#define PP_DCHECK(expr) \
+  do {                  \
+  } while (0)
+#else
+#define PP_DCHECK(expr) PP_ASSERT(expr)
+#endif

@@ -1,0 +1,52 @@
+// Adversarial schedulers.
+//
+// The paper's guarantees are stated for the uniform random scheduler.  A
+// natural robustness question for a library user: what happens under a
+// *hostile* scheduler that still makes progress (always fires some
+// productive pair) but chooses which one maliciously?  This module
+// implements a family of greedy adversaries over the protocol's formal
+// transition function δ:
+//
+//   kRandomProductive  uniform among productive pairs (the embedded jump
+//                      chain of the random scheduler — baseline);
+//   kMaxLoad           always fire the pair inside the most-loaded state
+//                      (tries to keep agents piled up);
+//   kMinRankCoverage   fire the productive pair whose outcome minimises
+//                      the number of occupied rank states (actively fights
+//                      the ranking);
+//   kStubborn          keep firing in the same state as long as possible
+//                      (starves the rest of the population).
+//
+// Interesting facts these expose (see tests/test_adversary.cpp and
+// bench_adversarial): AG and the ring protocol stabilise under *every*
+// such adversary (their progress measures are schedule-independent), while
+// the tree protocol's reset loop can be dragged out by kMinRankCoverage —
+// the whp bound genuinely needs the scheduler's randomness.
+//
+// Enumeration is O(states^2) per step, so this is a small-n analysis tool,
+// not a performance path.
+#pragma once
+
+#include "core/engine.hpp"
+#include "core/protocol.hpp"
+
+namespace pp {
+
+enum class AdversaryPolicy {
+  kRandomProductive,
+  kMaxLoad,
+  kMinRankCoverage,
+  kStubborn,
+};
+
+const char* adversary_policy_name(AdversaryPolicy p);
+
+/// Runs the protocol under the chosen adversary until silence or until
+/// `max_steps` *productive* steps have fired (there are no null steps —
+/// the adversary always fires a productive pair while one exists).
+/// RunResult::interactions counts productive firings; parallel_time is
+/// firings / n (a lower bound on any scheduler's parallel time).
+RunResult run_adversarial(Protocol& p, AdversaryPolicy policy, Rng& rng,
+                          u64 max_steps = 1'000'000);
+
+}  // namespace pp

@@ -1,0 +1,53 @@
+#include "core/configuration.hpp"
+
+#include "common/assert.hpp"
+
+namespace pp {
+
+u64 Configuration::agents() const {
+  u64 sum = 0;
+  for (const u64 c : counts) sum += c;
+  return sum;
+}
+
+Configuration Configuration::from_agent_states(
+    std::span<const StateId> states, u64 num_states) {
+  Configuration cfg;
+  cfg.counts.assign(num_states, 0);
+  for (const StateId s : states) {
+    PP_ASSERT_MSG(s < num_states, "agent state out of range");
+    ++cfg.counts[s];
+  }
+  return cfg;
+}
+
+std::vector<StateId> Configuration::to_agent_states() const {
+  std::vector<StateId> out;
+  out.reserve(agents());
+  for (StateId s = 0; s < counts.size(); ++s) {
+    for (u64 i = 0; i < counts[s]; ++i) out.push_back(s);
+  }
+  return out;
+}
+
+u64 k_distance(const Configuration& c, u64 num_ranks) {
+  PP_ASSERT(num_ranks <= c.num_states());
+  u64 k = 0;
+  for (u64 s = 0; s < num_ranks; ++s) {
+    if (c.counts[s] == 0) ++k;
+  }
+  return k;
+}
+
+bool is_valid_ranking(const Configuration& c, u64 num_ranks) {
+  PP_ASSERT(num_ranks <= c.num_states());
+  for (u64 s = 0; s < num_ranks; ++s) {
+    if (c.counts[s] != 1) return false;
+  }
+  for (u64 s = num_ranks; s < c.num_states(); ++s) {
+    if (c.counts[s] != 0) return false;
+  }
+  return true;
+}
+
+}  // namespace pp

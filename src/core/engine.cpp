@@ -1,0 +1,60 @@
+#include "core/engine.hpp"
+
+#include "common/assert.hpp"
+
+namespace pp {
+namespace {
+
+RunResult finish(const Protocol& p, RunResult r) {
+  r.silent = p.is_silent();
+  r.valid = p.is_valid_ranking();
+  r.parallel_time =
+      static_cast<double>(r.interactions) / static_cast<double>(p.num_agents());
+  return r;
+}
+
+}  // namespace
+
+RunResult run_accelerated(Protocol& p, Rng& rng, const RunOptions& opt) {
+  const u64 n = p.num_agents();
+  const double pairs = static_cast<double>(n) * static_cast<double>(n - 1);
+  RunResult r;
+  while (true) {
+    const u64 w = p.productive_weight();
+    if (w == 0) break;
+    const double prob = static_cast<double>(w) / pairs;
+    const u64 skip = rng.geometric_failures(prob);
+    PP_DCHECK(skip != Rng::kGeometricInfinity);
+    // The next productive interaction is number r.interactions + skip + 1.
+    if (skip >= opt.max_interactions - r.interactions) {
+      r.interactions = opt.max_interactions;
+      return finish(p, r);
+    }
+    r.interactions += skip + 1;
+    p.step_productive(rng);
+    ++r.productive_steps;
+    if (opt.on_change && !opt.on_change(p, r.interactions)) {
+      r.aborted = true;
+      return finish(p, r);
+    }
+  }
+  return finish(p, r);
+}
+
+RunResult run_uniform(Protocol& p, Rng& rng, const RunOptions& opt) {
+  RunResult r;
+  while (p.productive_weight() != 0) {
+    if (r.interactions >= opt.max_interactions) return finish(p, r);
+    ++r.interactions;
+    if (p.step_uniform(rng)) {
+      ++r.productive_steps;
+      if (opt.on_change && !opt.on_change(p, r.interactions)) {
+        r.aborted = true;
+        return finish(p, r);
+      }
+    }
+  }
+  return finish(p, r);
+}
+
+}  // namespace pp

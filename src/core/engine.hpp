@@ -1,0 +1,56 @@
+// Simulation engines for the uniform random scheduler.
+//
+// Parallel time (the paper's complexity measure) is the number of scheduler
+// interactions divided by n.  Near stabilisation almost all interactions
+// are null (the two sampled agents have no applicable rule), which makes a
+// naive simulation of a Θ(n^2)-parallel-time protocol cost Θ(n^3) work.
+//
+// AcceleratedEngine removes that overhead *exactly*: if W of the n(n-1)
+// ordered pairs are productive, the index of the next productive
+// interaction is geometrically distributed with success probability
+// p = W / (n(n-1)), and conditioned on being productive the pair is uniform
+// among the W productive ones.  Both quantities are exactly what the
+// protocols expose (productive_weight / step_productive), so the engine
+// samples the gap length in closed form and replays only productive
+// interactions.  The resulting trajectory has the same distribution as the
+// naive simulation — tests/test_engine.cpp validates this against
+// UniformEngine statistically.
+//
+// UniformEngine simulates every interaction; it is the reference
+// implementation used in tests and small demos.
+#pragma once
+
+#include <functional>
+
+#include "common/types.hpp"
+#include "core/protocol.hpp"
+#include "rng/random.hpp"
+
+namespace pp {
+
+struct RunOptions {
+  /// Hard budget on scheduler interactions (null ones included); the run
+  /// reports silent = false if the budget is exhausted first.
+  u64 max_interactions = ~static_cast<u64>(0);
+
+  /// Optional observer invoked after every configuration change with the
+  /// number of interactions elapsed so far; return false to abort the run.
+  std::function<bool(const Protocol&, u64)> on_change;
+};
+
+struct RunResult {
+  u64 interactions = 0;      ///< scheduler steps, null interactions included
+  u64 productive_steps = 0;  ///< configuration changes
+  bool silent = false;       ///< reached a silent configuration
+  bool valid = false;        ///< final configuration is a valid ranking
+  bool aborted = false;      ///< observer requested an early stop
+  double parallel_time = 0;  ///< interactions / n
+};
+
+/// Exact accelerated simulation (geometric null-skipping).
+RunResult run_accelerated(Protocol& p, Rng& rng, const RunOptions& opt = {});
+
+/// Faithful one-interaction-at-a-time simulation.
+RunResult run_uniform(Protocol& p, Rng& rng, const RunOptions& opt = {});
+
+}  // namespace pp

@@ -1,0 +1,22 @@
+#include "core/leader_election.hpp"
+
+#include "common/assert.hpp"
+
+namespace pp {
+
+LeaderElection::LeaderElection(ProtocolPtr ranking)
+    : ranking_(std::move(ranking)) {
+  PP_ASSERT(ranking_ != nullptr);
+}
+
+RunResult LeaderElection::stabilise(Rng& rng, const RunOptions& opt) {
+  return run_accelerated(*ranking_, rng, opt);
+}
+
+void LeaderElection::inject_faults(u64 faults, Rng& rng) {
+  Configuration c = ranking_->configuration();
+  c = initial::perturbed(std::move(c), faults, rng);
+  ranking_->reset(c);
+}
+
+}  // namespace pp

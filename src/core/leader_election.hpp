@@ -1,0 +1,48 @@
+// Leader election on top of ranking (paper §1, §6).
+//
+// Solving ranking solves leader election: declare the agent holding rank 0
+// the leader.  Because ranking protocols here are silent and stable, the
+// elected leader is unique and permanent once the population stabilises,
+// and the election is self-stabilising — after arbitrary transient faults
+// the population re-elects exactly one leader.
+//
+// This adapter owns a ranking protocol and exposes the leader-election
+// view of it; the `leader_election` example drives it through fault
+// injection.
+#pragma once
+
+#include <memory>
+
+#include "core/engine.hpp"
+#include "core/initial.hpp"
+#include "core/protocol.hpp"
+
+namespace pp {
+
+class LeaderElection {
+ public:
+  explicit LeaderElection(ProtocolPtr ranking);
+
+  Protocol& protocol() { return *ranking_; }
+  const Protocol& protocol() const { return *ranking_; }
+
+  /// Number of agents currently claiming leadership (rank 0).
+  u64 leader_count() const { return ranking_->counts()[0]; }
+
+  /// Stable outcome: exactly one leader and the population is silent.
+  bool has_stable_unique_leader() const {
+    return ranking_->is_silent() && leader_count() == 1;
+  }
+
+  /// Runs the accelerated engine until silence (or budget); returns the
+  /// engine's result.
+  RunResult stabilise(Rng& rng, const RunOptions& opt = {});
+
+  /// Injects `faults` transient faults into the current configuration.
+  void inject_faults(u64 faults, Rng& rng);
+
+ private:
+  ProtocolPtr ranking_;
+};
+
+}  // namespace pp

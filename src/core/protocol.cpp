@@ -1,0 +1,110 @@
+#include "core/protocol.hpp"
+
+#include "common/assert.hpp"
+
+namespace pp {
+
+Protocol::Protocol(u64 num_agents, u64 num_ranks, u64 num_extra)
+    : n_agents_(num_agents),
+      n_ranks_(num_ranks),
+      n_states_(num_ranks + num_extra) {
+  PP_ASSERT_MSG(n_agents_ >= 2, "need at least two agents to interact");
+  PP_ASSERT_MSG(n_ranks_ >= 1, "need at least one rank state");
+  counts_.assign(n_states_, 0);
+  rank_weight_.reset(n_ranks_);
+  count_all_.reset(n_states_);
+}
+
+void Protocol::reset(const Configuration& c) {
+  PP_ASSERT_MSG(c.num_states() == n_states_,
+                "configuration has wrong number of states");
+  PP_ASSERT_MSG(c.agents() == n_agents_,
+                "configuration has wrong number of agents");
+  PP_ASSERT_MSG(rules_.size() == n_ranks_,
+                "derived protocol did not install its rule table");
+  counts_ = c.counts;
+  rank_weight_.reset(n_ranks_);
+  count_all_.reset(n_states_);
+  for (StateId s = 0; s < n_states_; ++s) {
+    if (counts_[s] == 0) continue;
+    count_all_.set(s, counts_[s]);
+    if (s < n_ranks_) rank_weight_.set(s, counts_[s] * (counts_[s] - 1));
+  }
+  on_reset();
+}
+
+void Protocol::mutate(StateId s, i64 delta) {
+  PP_DCHECK(s < n_states_);
+  if (delta == 0) return;
+  if (delta < 0) {
+    PP_ASSERT_MSG(counts_[s] >= static_cast<u64>(-delta),
+                  "mutate would drive a state count negative");
+  }
+  counts_[s] = static_cast<u64>(static_cast<i64>(counts_[s]) + delta);
+  count_all_.add(s, delta);
+  if (s < n_ranks_) {
+    const u64 c = counts_[s];
+    rank_weight_.set(s, c * (c - (c > 0 ? 1 : 0)));
+  }
+}
+
+void Protocol::apply_rank_rule(StateId s) {
+  PP_DCHECK(s < n_ranks_);
+  PP_DCHECK(counts_[s] >= 2);
+  const Rule r = rules_[s];
+  mutate(s, -2);
+  mutate(r.out1, +1);
+  mutate(r.out2, +1);
+}
+
+void Protocol::step_productive(Rng& rng) {
+  const u64 w_rank = rank_weight_.total();
+  const u64 w_extra = extra_weight();
+  PP_ASSERT_MSG(w_rank + w_extra > 0, "step_productive on a silent protocol");
+  const u64 target = rng.below(w_rank + w_extra);
+  if (target < w_rank) {
+    apply_rank_rule(static_cast<StateId>(rank_weight_.find(target)));
+  } else {
+    step_extra(target - w_rank, rng);
+  }
+}
+
+bool Protocol::step_uniform(Rng& rng) {
+  // Initiator uniform among agents; responder uniform among the rest.
+  const StateId si =
+      static_cast<StateId>(count_all_.find(rng.below(n_agents_)));
+  count_all_.add(si, -1);
+  const StateId sr =
+      static_cast<StateId>(count_all_.find(rng.below(n_agents_ - 1)));
+  count_all_.add(si, +1);
+
+  if (si < n_ranks_ && sr < n_ranks_) {
+    if (si != sr) return false;  // state-optimal rules are (s,s) only
+    apply_rank_rule(si);
+    return true;
+  }
+  return apply_cross(si, sr);
+}
+
+void Protocol::step_extra(u64 /*target*/, Rng& /*rng*/) {
+  PP_ASSERT_MSG(false, "protocol reported extra_weight() but does not "
+                       "implement step_extra()");
+}
+
+bool Protocol::apply_cross(StateId /*initiator*/, StateId /*responder*/) {
+  PP_ASSERT_MSG(false, "protocol has extra states but does not implement "
+                       "apply_cross()");
+  return false;
+}
+
+bool Protocol::is_valid_ranking() const {
+  return n_agents_ == n_ranks_ && rank_weight_.total() == 0 &&
+         rank_agents() == n_agents_;
+}
+
+std::string Protocol::describe_state(StateId s) const {
+  if (s < n_ranks_) return "rank " + std::to_string(s);
+  return "extra " + std::to_string(s - n_ranks_);
+}
+
+}  // namespace pp

@@ -1,0 +1,157 @@
+// The Protocol interface: a self-stabilising ranking population protocol
+// ready for simulation under the uniform random scheduler.
+//
+// Design.  The paper observes (§2) that in a state-optimal ranking protocol
+// the *only* permitted rules are of the form (s,s) -> (s',s'') on rank
+// states — any other rule would keep firing in the final configuration and
+// break silence.  All four protocols in this library therefore share the
+// same backbone:
+//
+//   * a per-rank-state table of same-state rules, with a Fenwick tree of
+//     "productive weights" c_s(c_s - 1) (the number of ordered pairs of
+//     distinct agents both in s) used to sample the next productive
+//     interaction in O(log n); and
+//   * optional protocol-specific *extra categories* covering interactions
+//     that involve extra states (the line protocol's X, the tree protocol's
+//     red/green buffer), exposed through three virtual hooks.
+//
+// The two engines drive this interface in different ways:
+//   * AcceleratedEngine calls productive_weight() / step_productive() and
+//     skips null interactions in closed form (exact in distribution);
+//   * UniformEngine calls step_uniform(), faithfully simulating every
+//     single interaction — it exists to validate the accelerated path.
+//
+// Invariant maintained throughout: productive_weight() counts *exactly* the
+// ordered agent pairs whose interaction would change the configuration, so
+// productive_weight() == 0  <=>  the configuration is silent.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/configuration.hpp"
+#include "ds/fenwick.hpp"
+#include "rng/random.hpp"
+
+namespace pp {
+
+class Protocol {
+ public:
+  virtual ~Protocol() = default;
+  Protocol(const Protocol&) = delete;
+  Protocol& operator=(const Protocol&) = delete;
+
+  /// Human-readable protocol name (e.g. "ring-of-traps").
+  virtual std::string_view name() const = 0;
+
+  /// Population size n; equals the number of rank states for ranking
+  /// protocols (auxiliary sub-protocols such as the single-line model of
+  /// §4.1 may differ).
+  u64 num_agents() const { return n_agents_; }
+  u64 num_ranks() const { return n_ranks_; }
+  u64 num_states() const { return n_states_; }
+  u64 num_extra_states() const { return n_states_ - n_ranks_; }
+
+  /// Loads a starting configuration (any arrangement of num_agents() agents
+  /// over num_states() states — this is a *self-stabilising* protocol).
+  void reset(const Configuration& c);
+
+  /// Current configuration as per-state counts.
+  const std::vector<u64>& counts() const { return counts_; }
+  Configuration configuration() const { return Configuration(counts_); }
+
+  /// Number of ordered agent pairs whose interaction changes the
+  /// configuration.
+  u64 productive_weight() const {
+    return rank_weight_.total() + extra_weight();
+  }
+
+  /// Applies one productive interaction sampled uniformly among all
+  /// productive ordered pairs.  Precondition: productive_weight() > 0.
+  void step_productive(Rng& rng);
+
+  /// Simulates one interaction of the uniform scheduler (an ordered pair of
+  /// distinct agents chosen uniformly).  Returns true iff the configuration
+  /// changed.
+  bool step_uniform(Rng& rng);
+
+  /// Silent <=> no interaction can change the configuration.
+  bool is_silent() const { return productive_weight() == 0; }
+
+  /// True iff every rank is held by exactly one agent (the final
+  /// configuration).  For every protocol in this library this is equivalent
+  /// to is_silent(); tests assert the equivalence rather than assuming it.
+  bool is_valid_ranking() const;
+
+  /// The formal transition function δ(initiator, responder) ->
+  /// (initiator', responder') — the paper's rule set, written down
+  /// directly.  Null interactions return the inputs unchanged.
+  ///
+  /// This is deliberately *independent* of the optimized count/Fenwick
+  /// machinery driving step_productive()/step_uniform(): the agent-level
+  /// reference simulator (core/agent_simulator.hpp) runs on transition()
+  /// alone, and consistency tests check the two implementations against
+  /// each other pair-by-pair and trajectory-by-trajectory.
+  virtual std::pair<StateId, StateId> transition(StateId initiator,
+                                                 StateId responder) const = 0;
+
+  /// Debugging name of a state, e.g. "(a=3,b=0|gate)" or "X_4".
+  virtual std::string describe_state(StateId s) const;
+
+ protected:
+  /// A ranking protocol has num_agents == num_ranks; auxiliary
+  /// sub-protocols may simulate fewer/more agents than rank states.
+  Protocol(u64 num_agents, u64 num_ranks, u64 num_extra);
+
+  /// Same-state rule (s,s) -> (out1, out2); derived constructors must fill
+  /// one entry per rank state (outputs may be extra states).  Every rule
+  /// must change the configuration (out1 != s or out2 != s).
+  struct Rule {
+    StateId out1;
+    StateId out2;
+  };
+  std::vector<Rule> rules_;
+
+  /// --- hooks for protocols with extra states ------------------------
+  /// Number of productive ordered pairs not counted by the rank-state
+  /// Fenwick (i.e. pairs involving at least one extra-state agent).
+  virtual u64 extra_weight() const { return 0; }
+  /// Applies the extra productive interaction selected by
+  /// `target` uniform in [0, extra_weight()).
+  virtual void step_extra(u64 target, Rng& rng);
+  /// Uniform-scheduler interaction for a pair that is not two rank agents
+  /// in the same state.  Returns true iff the configuration changed.
+  virtual bool apply_cross(StateId initiator, StateId responder);
+  /// Called at the end of reset() so derived classes can refresh caches.
+  virtual void on_reset() {}
+
+  /// --- helpers for derived classes -----------------------------------
+  /// Adds delta agents to state s, keeping counts and both Fenwick trees
+  /// consistent.
+  void mutate(StateId s, i64 delta);
+  /// Fires the same-state rule of rank state s (two agents in s interact).
+  void apply_rank_rule(StateId s);
+  u64 count(StateId s) const { return counts_[s]; }
+  /// Total number of agents currently in rank states.
+  u64 rank_agents() const { return count_all_.prefix(n_ranks_); }
+  /// Samples a rank state with probability proportional to its count;
+  /// `target` must be uniform in [0, rank_agents()).
+  StateId sample_rank_by_count(u64 target) const {
+    return static_cast<StateId>(count_all_.find(target));
+  }
+
+ private:
+  u64 n_agents_;
+  u64 n_ranks_;
+  u64 n_states_;
+  std::vector<u64> counts_;
+  Fenwick rank_weight_;  // rank states: c_s * (c_s - 1)
+  Fenwick count_all_;    // all states: c_s
+};
+
+using ProtocolPtr = std::unique_ptr<Protocol>;
+
+}  // namespace pp

@@ -1,0 +1,55 @@
+#include "ds/fenwick.hpp"
+
+namespace pp {
+
+void Fenwick::reset(u64 size) {
+  n_ = size;
+  total_ = 0;
+  tree_.assign(n_ + 1, 0);
+  leaf_.assign(n_, 0);
+  log2n_ = 1;
+  while (log2n_ * 2 <= n_) log2n_ *= 2;
+}
+
+void Fenwick::add(u64 i, i64 delta) {
+  PP_DCHECK(i < n_);
+  if (delta == 0) return;
+  if (delta < 0) {
+    PP_ASSERT_MSG(leaf_[i] >= static_cast<u64>(-delta),
+                  "Fenwick weight underflow");
+  }
+  leaf_[i] = static_cast<u64>(static_cast<i64>(leaf_[i]) + delta);
+  total_ = static_cast<u64>(static_cast<i64>(total_) + delta);
+  for (u64 j = i + 1; j <= n_; j += j & (~j + 1)) {
+    tree_[j] = static_cast<u64>(static_cast<i64>(tree_[j]) + delta);
+  }
+}
+
+void Fenwick::set(u64 i, u64 w) {
+  add(i, static_cast<i64>(w) - static_cast<i64>(leaf_[i]));
+}
+
+u64 Fenwick::prefix(u64 i) const {
+  PP_DCHECK(i <= n_);
+  u64 sum = 0;
+  for (u64 j = i; j > 0; j -= j & (~j + 1)) sum += tree_[j];
+  return sum;
+}
+
+u64 Fenwick::find(u64 target) const {
+  PP_DCHECK(target < total_);
+  u64 pos = 0;
+  u64 remaining = target;
+  for (u64 step = log2n_; step > 0; step >>= 1) {
+    const u64 next = pos + step;
+    if (next <= n_ && tree_[next] <= remaining) {
+      remaining -= tree_[next];
+      pos = next;
+    }
+  }
+  PP_DCHECK(pos < n_);
+  PP_DCHECK(leaf_[pos] > remaining);
+  return pos;
+}
+
+}  // namespace pp

@@ -1,0 +1,22 @@
+#include "protocols/ag.hpp"
+
+namespace pp {
+
+AgProtocol::AgProtocol(u64 n) : Protocol(n, n, /*num_extra=*/0) {
+  rules_.resize(n);
+  for (StateId i = 0; i < n; ++i) {
+    rules_[i] = Rule{i, static_cast<StateId>((i + 1) % n)};
+  }
+}
+
+std::pair<StateId, StateId> AgProtocol::transition(StateId initiator,
+                                                   StateId responder) const {
+  // The single rule family: i + i -> i + (i + 1 mod n).
+  if (initiator == responder) {
+    return {initiator,
+            static_cast<StateId>((initiator + 1) % num_ranks())};
+  }
+  return {initiator, responder};
+}
+
+}  // namespace pp

@@ -1,0 +1,50 @@
+#include "protocols/factory.hpp"
+
+#include <memory>
+
+#include "common/assert.hpp"
+#include "protocols/ag.hpp"
+#include "protocols/line_of_traps.hpp"
+#include "protocols/ring_of_traps.hpp"
+#include "protocols/tree_ranking.hpp"
+#include "structures/line_layout.hpp"
+
+namespace pp {
+
+ProtocolPtr make_protocol(std::string_view name, u64 n) {
+  if (name == "ag") return std::make_unique<AgProtocol>(n);
+  if (name == "ring-of-traps") return std::make_unique<RingOfTrapsProtocol>(n);
+  if (name == "line-of-traps") return std::make_unique<LineOfTrapsProtocol>(n);
+  if (name == "tree-ranking") return std::make_unique<TreeRankingProtocol>(n);
+  PP_ASSERT_MSG(false, "unknown protocol name");
+  return nullptr;
+}
+
+std::vector<std::string_view> protocol_names() {
+  return {"ag", "ring-of-traps", "line-of-traps", "tree-ranking"};
+}
+
+u64 min_population(std::string_view name) {
+  if (name == "line-of-traps") return LineLayout::canonical_n(2);  // 72
+  return 2;
+}
+
+u64 preferred_population(std::string_view name, u64 n) {
+  const u64 lo = min_population(name);
+  if (n < lo) n = lo;
+  if (name == "line-of-traps") {
+    // Snap to the nearest canonical size 3 m^3 (m+1), even m.
+    u64 best = LineLayout::canonical_n(2);
+    for (u64 m = 2;; m += 2) {
+      const u64 c = LineLayout::canonical_n(m);
+      const u64 d_best = best > n ? best - n : n - best;
+      const u64 d_c = c > n ? c - n : n - c;
+      if (d_c <= d_best) best = c;
+      if (c >= n) break;
+    }
+    return best;
+  }
+  return n;
+}
+
+}  // namespace pp

@@ -1,0 +1,26 @@
+// Construction of protocols by name — shared by tests, benches, examples.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "core/protocol.hpp"
+
+namespace pp {
+
+/// Known names: "ag", "ring-of-traps", "line-of-traps", "tree-ranking".
+/// Aborts on an unknown name (programming error, not user input).
+ProtocolPtr make_protocol(std::string_view name, u64 n);
+
+/// All ranking protocol names, baseline first.
+std::vector<std::string_view> protocol_names();
+
+/// Smallest supported population size of a protocol.
+u64 min_population(std::string_view name);
+
+/// Rounds `n` up to a size the protocol supports and, for the line
+/// protocol, to the nearest canonical 3 m^3 (m+1) so that benches compare
+/// the protocols at their natural sizes.
+u64 preferred_population(std::string_view name, u64 n);
+
+}  // namespace pp

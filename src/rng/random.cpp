@@ -1,0 +1,105 @@
+#include "rng/random.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace pp {
+
+u64 Rng::below(u64 bound) {
+  PP_DCHECK(bound >= 1);
+  // Lemire's multiply-shift method with rejection for exact uniformity.
+  u64 x = gen_();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  u64 lo = static_cast<u64>(m);
+  if (lo < bound) {
+    const u64 threshold = (~bound + 1) % bound;  // == 2^64 mod bound
+    while (lo < threshold) {
+      x = gen_();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<u64>(m);
+    }
+  }
+  return static_cast<u64>(m >> 64);
+}
+
+u64 Rng::range(u64 lo, u64 hi) {
+  PP_DCHECK(lo <= hi);
+  return lo + below(hi - lo + 1);
+}
+
+double Rng::real01() {
+  return static_cast<double>(gen_() >> 11) * 0x1.0p-53;
+}
+
+double Rng::real01_open_left() {
+  // (x >> 11) + 1 is uniform on {1, ..., 2^53}; scaled into (0, 1].
+  return static_cast<double>((gen_() >> 11) + 1) * 0x1.0p-53;
+}
+
+bool Rng::bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return real01() < p;
+}
+
+u64 Rng::geometric_failures(double p) {
+  if (p >= 1.0) return 0;
+  if (p <= 0.0) return kGeometricInfinity;
+  const double u = real01_open_left();
+  // failures = floor(ln u / ln(1-p)).  log1p keeps precision for tiny p,
+  // which is the common case near stabilisation (p ~ 1/n^2).
+  const double f = std::floor(std::log(u) / std::log1p(-p));
+  if (f >= 1.8e19) return kGeometricInfinity;
+  return static_cast<u64>(f);
+}
+
+std::pair<u64, u64> Rng::ordered_pair(u64 n) {
+  PP_DCHECK(n >= 2);
+  const u64 a = below(n);
+  u64 b = below(n - 1);
+  if (b >= a) ++b;
+  return {a, b};
+}
+
+std::vector<u64> Rng::sample_distinct(u64 n, u64 k) {
+  PP_ASSERT(k <= n);
+  std::vector<u64> out;
+  out.reserve(k);
+  if (k == 0) return out;
+  if (k * 4 <= n) {
+    // Floyd's algorithm: expected O(k) with a sorted membership vector
+    // (k is small here, so linear membership checks are fine).
+    for (u64 j = n - k; j < n; ++j) {
+      const u64 t = below(j + 1);
+      if (std::find(out.begin(), out.end(), t) == out.end()) {
+        out.push_back(t);
+      } else {
+        out.push_back(j);
+      }
+    }
+  } else {
+    std::vector<u64> all(n);
+    for (u64 i = 0; i < n; ++i) all[i] = i;
+    // Partial Fisher-Yates: the first k positions become the sample.
+    for (u64 i = 0; i < k; ++i) {
+      const u64 j = i + below(n - i);
+      std::swap(all[i], all[j]);
+    }
+    out.assign(all.begin(), all.begin() + static_cast<i64>(k));
+  }
+  shuffle(out);
+  return out;
+}
+
+Rng Rng::split() {
+  Rng child = *this;
+  child.gen_.long_jump();
+  // Also perturb the parent so repeated split() calls yield distinct
+  // children even without intervening draws.
+  (void)gen_();
+  return child;
+}
+
+}  // namespace pp

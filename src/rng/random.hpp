@@ -1,0 +1,79 @@
+// High-level random primitives on top of xoshiro256++.
+//
+// Everything the simulator and the experiment harness needs:
+//   * unbiased bounded integers (Lemire's multiply-shift with rejection),
+//   * uniform doubles in [0,1),
+//   * geometric "how many null interactions before the next productive one"
+//     sampling used by the accelerated engine,
+//   * Fisher-Yates shuffling and distinct-pair sampling.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "rng/xoshiro256pp.hpp"
+
+namespace pp {
+
+class Rng {
+ public:
+  explicit Rng(u64 seed = 0x9d3ce3f1a7b42c55ULL) : gen_(seed) {}
+
+  /// Raw 64 random bits.
+  u64 bits() { return gen_(); }
+
+  /// Uniform integer in [0, bound).  Requires bound >= 1.
+  u64 below(u64 bound);
+
+  /// Uniform integer in [lo, hi].  Requires lo <= hi.
+  u64 range(u64 lo, u64 hi);
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double real01();
+
+  /// Uniform double in (0, 1] — never returns 0; safe as a log() argument.
+  double real01_open_left();
+
+  /// Bernoulli trial with success probability p in [0, 1].
+  bool bernoulli(double p);
+
+  /// Number of consecutive *failures* before the first success of a
+  /// Bernoulli(p) sequence (a Geometric(p) variate supported on {0,1,...}).
+  ///
+  /// This is the accelerated engine's core primitive: with productive-pair
+  /// probability p per interaction, it jumps over the exact number of null
+  /// interactions the uniform scheduler would have produced.  Uses the
+  /// standard inversion floor(log(U)/log1p(-p)); for p = 1 returns 0 and
+  /// for p = 0 saturates at kGeometricInfinity (caller must treat the
+  /// configuration as silent before asking).
+  u64 geometric_failures(double p);
+
+  /// Ordered pair of *distinct* indices in [0, n).  Requires n >= 2.
+  /// Models the paper's random scheduler: (initiator, responder).
+  std::pair<u64, u64> ordered_pair(u64 n);
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (u64 i = v.size(); i > 1; --i) {
+      const u64 j = below(i);
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// `k` distinct values uniformly sampled from [0, n), in random order.
+  /// Requires k <= n.  O(k) expected time via hash-free Floyd sampling for
+  /// small k and partial Fisher-Yates otherwise.
+  std::vector<u64> sample_distinct(u64 n, u64 k);
+
+  /// Split off an independent generator (2^128 apart on the xoshiro orbit).
+  Rng split();
+
+  static constexpr u64 kGeometricInfinity = ~static_cast<u64>(0);
+
+ private:
+  Xoshiro256pp gen_;
+};
+
+}  // namespace pp

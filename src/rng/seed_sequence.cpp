@@ -1,0 +1,18 @@
+#include "rng/seed_sequence.hpp"
+
+#include "rng/splitmix64.hpp"
+
+namespace pp {
+
+u64 derive_seed(u64 root, std::string_view label, u64 index) {
+  u64 h = 0xcbf29ce484222325ULL;  // FNV-1a 64-bit offset basis
+  for (const char c : label) {
+    h ^= static_cast<u8>(c);
+    h *= 0x100000001b3ULL;
+  }
+  SplitMix64 sm(root ^ mix64(h));
+  const u64 a = sm.next();
+  return mix64(a ^ mix64(index * 0x9e3779b97f4a7c15ULL + 1));
+}
+
+}  // namespace pp

@@ -1,0 +1,24 @@
+// Deterministic seed derivation for reproducible experiments.
+//
+// Every randomized component (initial-configuration generator, scheduler,
+// fault injector, per-trial stream, ...) derives its seed as
+//   derive(root, "component-name", index)
+// so that (a) whole benchmark suites are reproducible from one root seed and
+// (b) changing the trial count of one experiment does not shift the random
+// streams of another.
+#pragma once
+
+#include <string_view>
+
+#include "common/types.hpp"
+
+namespace pp {
+
+/// FNV-1a over the label, mixed with the root seed and index via SplitMix64.
+u64 derive_seed(u64 root, std::string_view label, u64 index = 0);
+
+/// The library-wide default root seed (benchmarks print it so runs can be
+/// reproduced exactly).
+inline constexpr u64 kDefaultRootSeed = 0x5eed5eed2025ULL;
+
+}  // namespace pp

@@ -1,0 +1,31 @@
+// SplitMix64 — tiny, fast 64-bit mixer (Steele, Lea, Flood 2014).
+//
+// Used for (a) seeding xoshiro256++ from a single 64-bit seed and
+// (b) deriving independent per-trial sub-seeds in the experiment harness.
+// Not used as the main simulation generator.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace pp {
+
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(u64 seed) : state_(seed) {}
+
+  /// Next 64 pseudo-random bits.
+  constexpr u64 next() {
+    u64 z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  u64 state_;
+};
+
+/// Stateless one-shot mix of a 64-bit value; handy for combining seeds.
+constexpr u64 mix64(u64 x) { return SplitMix64(x).next(); }
+
+}  // namespace pp

@@ -1,0 +1,87 @@
+#include "structures/balanced_tree.hpp"
+
+#include <sstream>
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace pp {
+
+BalancedTree::BalancedTree(u64 size) : size_(size) {
+  PP_ASSERT_MSG(size >= 1, "BalancedTree requires size >= 1");
+  nodes_.resize(size_);
+  // Iterative construction with an explicit work list of
+  // (pre-order id, subtree size, parent, depth) records; avoids deep
+  // recursion for degenerate chains (size = 2^k gives depth ~ 2 log n, but
+  // we stay iterative on principle).
+  struct Item {
+    StateId id;
+    u64 k;
+    StateId parent;
+    u32 depth;
+  };
+  std::vector<Item> stack;
+  stack.push_back({0, size_, kNoState, 0});
+  while (!stack.empty()) {
+    const Item it = stack.back();
+    stack.pop_back();
+    Node& node = nodes_[it.id];
+    node.parent = it.parent;
+    node.depth = it.depth;
+    node.subtree = it.k;
+    if (it.depth > height_) height_ = it.depth;
+    if (it.k == 1) {
+      continue;  // leaf
+    }
+    if (it.k % 2 == 0) {
+      // Non-branching node: single child rooting a subtree of size k-1.
+      node.left = it.id + 1;
+      stack.push_back({node.left, it.k - 1, it.id, it.depth + 1});
+    } else {
+      // Branching node: two identical subtrees of size l = (k-1)/2.
+      const u64 l = (it.k - 1) / 2;
+      PP_DCHECK(l >= 1);
+      node.left = it.id + 1;
+      node.right = static_cast<StateId>(it.id + l + 1);
+      stack.push_back({node.left, l, it.id, it.depth + 1});
+      stack.push_back({node.right, l, it.id, it.depth + 1});
+    }
+  }
+  for (StateId p = 0; p < size_; ++p) {
+    if (is_leaf(p)) leaves_.push_back(p);
+  }
+}
+
+std::string BalancedTree::to_string() const {
+  std::ostringstream out;
+  // Depth-first rendering with box-drawing prefixes.
+  struct Frame {
+    StateId id;
+    std::string prefix;
+    bool last;
+    bool root;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({0, "", true, true});
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    if (f.root) {
+      out << f.id << '\n';
+    } else {
+      out << f.prefix << (f.last ? "`-- " : "|-- ") << f.id << '\n';
+    }
+    const std::string child_prefix =
+        f.root ? "" : f.prefix + (f.last ? "    " : "|   ");
+    // Push right first so left pops (and prints) first.
+    if (is_branching(f.id)) {
+      stack.push_back({right_child(f.id), child_prefix, true, false});
+      stack.push_back({left_child(f.id), child_prefix, false, false});
+    } else if (!is_leaf(f.id)) {
+      stack.push_back({left_child(f.id), child_prefix, true, false});
+    }
+  }
+  return std::move(out).str();
+}
+
+}  // namespace pp

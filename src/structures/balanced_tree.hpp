@@ -1,0 +1,83 @@
+// Perfectly balanced binary trees (paper §5, Figure 2).
+//
+// The tree of size k is built recursively from its root:
+//   * k odd (k = 2l+1): the root is a *branching* node with two children
+//     that root identical perfectly balanced subtrees of size l;
+//   * k even: the root is a *non-branching* node whose single child roots a
+//     subtree of size k-1;
+//   * k = 1 is a leaf; k = 0 is the empty tree.
+//
+// Nodes are identified by their pre-order number p in [0, n): the root is 0,
+// a lone child of p is p+1, and the children of a branching node p are p+1
+// (left) and p+l+1 (right) where l is the common subtree size.
+//
+// Properties guaranteed by the construction (asserted in tests):
+//   * all nodes at the same depth are uniform (same arity, same subtree
+//     size), and
+//   * the height h satisfies h <= 2 log2 n.
+//
+// The §5 ranking protocol spans all n rank states over this tree; its rule
+// R1 routes colliding agents down the tree, and leaves trigger the reset.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace pp {
+
+class BalancedTree {
+ public:
+  /// Builds the perfectly balanced tree with `size` nodes (size >= 1).
+  explicit BalancedTree(u64 size);
+
+  u64 size() const { return size_; }
+
+  /// True if node p has exactly two children.
+  bool is_branching(StateId p) const { return nodes_[p].right != kNoState; }
+
+  /// True if node p has no children.
+  bool is_leaf(StateId p) const { return nodes_[p].left == kNoState; }
+
+  /// Left (or only) child of p; kNoState when p is a leaf.
+  StateId left_child(StateId p) const { return nodes_[p].left; }
+
+  /// Right child of p; kNoState unless p is a branching node.
+  StateId right_child(StateId p) const { return nodes_[p].right; }
+
+  /// Parent of p; kNoState for the root.
+  StateId parent(StateId p) const { return nodes_[p].parent; }
+
+  /// Distance from the root.
+  u32 depth(StateId p) const { return nodes_[p].depth; }
+
+  /// Number of nodes in the subtree rooted at p (including p).
+  u64 subtree_size(StateId p) const { return nodes_[p].subtree; }
+
+  /// Tree height: max depth over all nodes.
+  u32 height() const { return height_; }
+
+  /// Pre-order numbers of all leaves, ascending.
+  const std::vector<StateId>& leaves() const { return leaves_; }
+
+  /// Multi-line ASCII rendering (small trees only); used by the
+  /// `visualize_structures` example to regenerate Figure 2.
+  std::string to_string() const;
+
+ private:
+  struct Node {
+    StateId left = kNoState;
+    StateId right = kNoState;
+    StateId parent = kNoState;
+    u32 depth = 0;
+    u64 subtree = 0;
+  };
+
+  u64 size_;
+  u32 height_ = 0;
+  std::vector<Node> nodes_;
+  std::vector<StateId> leaves_;
+};
+
+}  // namespace pp

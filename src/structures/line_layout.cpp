@@ -1,0 +1,64 @@
+#include "structures/line_layout.hpp"
+
+#include "common/assert.hpp"
+
+namespace pp {
+namespace {
+
+u64 pick_m(u64 n) {
+  PP_ASSERT_MSG(n >= 72, "LineLayout requires n >= 72 (canonical m = 2)");
+  u64 m = 2;
+  while (LineLayout::canonical_n(m + 2) <= n) m += 2;
+  return m;
+}
+
+}  // namespace
+
+LineLayout::LineLayout(u64 n) : n_(n), m_(pick_m(n)), graph_(m_) {
+  const u64 lines = num_lines();
+  const u64 traps = traps_per_line();
+
+  line_offsets_.reserve(lines);
+  trap_offsets_.reserve(lines * traps);
+  line_of_.resize(n);
+  trap_of_.resize(n);
+  trap_offset_of_.resize(n);
+  route_target_.resize(n);
+
+  const u64 line_base = n / lines;
+  const u64 line_rem = n % lines;
+  u64 off = 0;
+  for (u64 l = 0; l < lines; ++l) {
+    line_offsets_.push_back(off);
+    const u64 lsize = line_base + (l < line_rem ? 1 : 0);
+    PP_ASSERT_MSG(lsize >= traps * 2,
+                  "line too small: every trap needs a gate and an inner state");
+    const u64 trap_base = lsize / traps;
+    const u64 trap_rem = lsize % traps;
+    u64 toff = off;
+    for (u64 a = 0; a < traps; ++a) {
+      trap_offsets_.push_back(toff);
+      const u64 tsize = trap_base + (a < trap_rem ? 1 : 0);
+      for (u64 b = 0; b < tsize; ++b) {
+        const u64 s = toff + b;
+        line_of_[s] = static_cast<u32>(l);
+        trap_of_[s] = static_cast<u32>(a);
+        trap_offset_of_[s] = toff;
+      }
+      toff += tsize;
+    }
+    PP_ASSERT(toff == off + lsize);
+    off += lsize;
+  }
+  PP_ASSERT(off == n);
+
+  // Precompute routing targets; needs all entrance gates laid out first.
+  for (u64 s = 0; s < n; ++s) {
+    const u64 l = line_of_[s];
+    const u32 slot = slot_of_trap(trap_of_[s]);
+    const u32 target_line = graph_.neighbour(static_cast<u32>(l), slot);
+    route_target_[s] = entrance_gate(target_line);
+  }
+}
+
+}  // namespace pp

@@ -1,0 +1,170 @@
+#include "structures/routing_graph.hpp"
+
+#include <queue>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace pp {
+namespace {
+
+// A balanced full binary tree with an odd number of nodes: every internal
+// node has exactly two children whose subtree sizes are the two odd numbers
+// closest to half of the remainder.  Height grows as log2 of the size.
+struct FullTree {
+  struct Node {
+    u32 parent = kNoState;
+    u32 left = kNoState;
+    u32 right = kNoState;
+    u32 depth = 0;
+  };
+  std::vector<Node> nodes;
+  std::vector<u32> leaves;  // pre-order ascending
+
+  explicit FullTree(u64 size) {
+    PP_ASSERT_MSG(size % 2 == 1, "full binary tree needs an odd size");
+    nodes.resize(size);
+    struct Item {
+      u32 id;
+      u64 k;
+      u32 parent;
+      u32 depth;
+    };
+    std::vector<Item> stack{{0, size, kNoState, 0}};
+    while (!stack.empty()) {
+      const Item it = stack.back();
+      stack.pop_back();
+      Node& node = nodes[it.id];
+      node.parent = it.parent;
+      node.depth = it.depth;
+      if (it.k == 1) continue;
+      const u64 h = (it.k - 1) / 2;  // k odd => k-1 even
+      const u64 lsize = (h % 2 == 1) ? h : h - 1;
+      const u64 rsize = (it.k - 1) - lsize;
+      PP_DCHECK(lsize % 2 == 1 && rsize % 2 == 1);
+      node.left = it.id + 1;
+      node.right = static_cast<u32>(it.id + 1 + lsize);
+      stack.push_back({node.left, lsize, it.id, it.depth + 1});
+      stack.push_back({node.right, rsize, it.id, it.depth + 1});
+    }
+    for (u32 p = 0; p < size; ++p) {
+      if (nodes[p].left == kNoState) leaves.push_back(p);
+    }
+  }
+};
+
+}  // namespace
+
+RoutingGraph::RoutingGraph(u64 m) : m_(m) {
+  PP_ASSERT_MSG(m >= 2 && m % 2 == 0, "RoutingGraph requires even m >= 2");
+  const u64 tree_size = m * m + 1;
+  FullTree tree(tree_size);
+  PP_ASSERT(tree.leaves.size() == m * m / 2 + 1);
+
+  // Merge the root with a deepest leaf.  For m >= 2 every deepest leaf has
+  // depth >= 2, so the merge never creates a self-loop.
+  u32 merged = tree.leaves.front();
+  for (const u32 l : tree.leaves) {
+    if (tree.nodes[l].depth > tree.nodes[merged].depth) merged = l;
+  }
+  PP_ASSERT(tree.nodes[merged].depth >= 2);
+
+  // Vertex ids: tree node ids with `merged` removed and later ids shifted
+  // down by one; references to `merged` resolve to the root's vertex (0).
+  auto vertex_of = [&](u32 node) -> u32 {
+    if (node == merged) return 0;
+    return node < merged ? node : node - 1;
+  };
+
+  adj_.assign(m * m, {kNoState, kNoState, kNoState});
+
+  std::vector<u32> cycle_leaves;
+  cycle_leaves.reserve(tree.leaves.size() - 1);
+  for (const u32 l : tree.leaves) {
+    if (l != merged) cycle_leaves.push_back(l);
+  }
+  const u64 L = cycle_leaves.size();
+  PP_ASSERT(L >= 2);
+
+  for (u32 node = 0; node < tree_size; ++node) {
+    if (node == merged) continue;
+    const u32 v = vertex_of(node);
+    const FullTree::Node& t = tree.nodes[node];
+    if (node == 0) {
+      // Merged vertex: its own two children plus the absorbed leaf's parent.
+      adj_[v] = {vertex_of(t.left), vertex_of(t.right),
+                 vertex_of(tree.nodes[merged].parent)};
+    } else if (t.left != kNoState) {
+      // Internal vertex.
+      adj_[v] = {vertex_of(t.parent), vertex_of(t.left), vertex_of(t.right)};
+    }
+    // Leaves handled below once cycle positions are known.
+  }
+  for (u64 i = 0; i < L; ++i) {
+    const u32 node = cycle_leaves[i];
+    const u32 prev = cycle_leaves[(i + L - 1) % L];
+    const u32 next = cycle_leaves[(i + 1) % L];
+    adj_[vertex_of(node)] = {vertex_of(tree.nodes[node].parent),
+                             vertex_of(prev), vertex_of(next)};
+  }
+  for (const auto& slots : adj_) {
+    for (const u32 s : slots) PP_ASSERT(s != kNoState);
+  }
+}
+
+u32 RoutingGraph::diameter() const {
+  const u64 v_count = num_vertices();
+  u32 best = 0;
+  std::vector<u32> dist(v_count);
+  for (u32 src = 0; src < v_count; ++src) {
+    std::fill(dist.begin(), dist.end(), kNoState);
+    std::queue<u32> q;
+    dist[src] = 0;
+    q.push(src);
+    while (!q.empty()) {
+      const u32 u = q.front();
+      q.pop();
+      for (const u32 w : adj_[u]) {
+        if (dist[w] == kNoState) {
+          dist[w] = dist[u] + 1;
+          if (dist[w] > best) best = dist[w];
+          q.push(w);
+        }
+      }
+    }
+    for (const u32 d : dist) PP_ASSERT_MSG(d != kNoState, "disconnected");
+  }
+  return best;
+}
+
+bool RoutingGraph::connected() const {
+  const u64 v_count = num_vertices();
+  std::vector<bool> seen(v_count, false);
+  std::queue<u32> q;
+  seen[0] = true;
+  q.push(0);
+  u64 reached = 1;
+  while (!q.empty()) {
+    const u32 u = q.front();
+    q.pop();
+    for (const u32 w : adj_[u]) {
+      if (!seen[w]) {
+        seen[w] = true;
+        ++reached;
+        q.push(w);
+      }
+    }
+  }
+  return reached == v_count;
+}
+
+std::string RoutingGraph::to_string() const {
+  std::ostringstream out;
+  for (u32 v = 0; v < num_vertices(); ++v) {
+    out << v << ": " << adj_[v][0] << ' ' << adj_[v][1] << ' ' << adj_[v][2]
+        << '\n';
+  }
+  return std::move(out).str();
+}
+
+}  // namespace pp

@@ -1,0 +1,62 @@
+// The cubic routing graph G of the one-extra-state protocol
+// (paper §4.2, Figure 1).
+//
+// Construction, following the paper verbatim:
+//   1. Build G' — a balanced *full* binary tree (every internal node has two
+//      children) with m^2 + 1 vertices, which exists because m is even so
+//      m^2 + 1 is odd.  It has m^2/2 + 1 leaves and height <= 2 ceil(log m).
+//   2. Merge the root with one of the leaves into a single vertex (we pick a
+//      deepest leaf, which is never a child of the root for m >= 2).
+//   3. Add a cycle through all remaining leaves.
+//
+// Every vertex then has exactly three incident edge slots:
+//   internal vertex:  parent, left child, right child;
+//   merged vertex:    left child, right child, the absorbed leaf's parent;
+//   remaining leaf:   parent, cycle-predecessor, cycle-successor.
+// (For m = 2 the two remaining leaves form a 2-cycle, so the "graph" is a
+// cubic multigraph — neighbour slots may repeat; routing does not care.)
+//
+// Vertices of G correspond to the m^2 lines of traps; an agent in the extra
+// state X interacting with an agent whose trap "points to" slot i in
+// {0, 1, 2} is forwarded to line neighbour(l, i).  The diameter bound
+// 4 ceil(log m) makes this routing rapidly mixing.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace pp {
+
+class RoutingGraph {
+ public:
+  /// Builds G for the given even m >= 2; the graph has m^2 vertices.
+  explicit RoutingGraph(u64 m);
+
+  u64 m() const { return m_; }
+  u64 num_vertices() const { return adj_.size(); }
+
+  /// The i-th neighbour slot (i in {0,1,2}) of vertex v.
+  u32 neighbour(u32 v, u32 i) const { return adj_[v][i]; }
+
+  /// All three neighbour slots of v.
+  const std::array<u32, 3>& neighbours(u32 v) const { return adj_[v]; }
+
+  /// Exact diameter by BFS from every vertex.  O(V^2); intended for tests
+  /// and the figure bench, not hot paths.
+  u32 diameter() const;
+
+  /// True if the multigraph is connected.
+  bool connected() const;
+
+  /// Adjacency listing ("v: a b c" per line) for the figure bench.
+  std::string to_string() const;
+
+ private:
+  u64 m_;
+  std::vector<std::array<u32, 3>> adj_;
+};
+
+}  // namespace pp

@@ -1,0 +1,156 @@
+// Adversarial-scheduler tests.
+//
+// Headline findings (mirrored by bench_adversarial):
+//   * AG and the ring protocol terminate under EVERY productive schedule,
+//     and even take a schedule-independent number of productive steps —
+//     the same "handled consistently" phenomenon the paper proves for
+//     lines in Lemmas 5/7;
+//   * the line protocol admits infinite productive schedules (an adversary
+//     can circulate surplus tokens through X forever): its stabilisation
+//     guarantee is genuinely probabilistic, relying on the random
+//     scheduler;
+//   * the tree protocol stabilised under every adversary we implement
+//     (the post-reset pour is deterministic by counting).
+#include "core/adversary.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/initial.hpp"
+#include "protocols/factory.hpp"
+#include "rng/seed_sequence.hpp"
+
+namespace pp {
+namespace {
+
+constexpr AdversaryPolicy kAllPolicies[] = {
+    AdversaryPolicy::kRandomProductive,
+    AdversaryPolicy::kMaxLoad,
+    AdversaryPolicy::kMinRankCoverage,
+    AdversaryPolicy::kStubborn,
+};
+
+TEST(Adversary, AgTerminatesUnderEveryPolicy) {
+  for (const auto policy : kAllPolicies) {
+    ProtocolPtr p = make_protocol("ag", 24);
+    Rng rng(derive_seed(51, adversary_policy_name(policy)));
+    p->reset(initial::uniform_random(*p, rng));
+    const RunResult r = run_adversarial(*p, policy, rng, 1'000'000);
+    EXPECT_TRUE(r.silent) << adversary_policy_name(policy);
+    EXPECT_TRUE(r.valid) << adversary_policy_name(policy);
+  }
+}
+
+TEST(Adversary, RingTerminatesUnderEveryPolicy) {
+  for (const auto policy : kAllPolicies) {
+    ProtocolPtr p = make_protocol("ring-of-traps", 30);
+    Rng rng(derive_seed(52, adversary_policy_name(policy)));
+    p->reset(initial::uniform_random(*p, rng));
+    const RunResult r = run_adversarial(*p, policy, rng, 1'000'000);
+    EXPECT_TRUE(r.silent) << adversary_policy_name(policy);
+    EXPECT_TRUE(r.valid) << adversary_policy_name(policy);
+  }
+}
+
+TEST(Adversary, AgProductiveStepCountIsScheduleIndependent) {
+  // From one fixed start, every policy (and every random seed) fires
+  // exactly the same number of productive interactions before silence.
+  for (const u64 cfg_seed : {1u, 2u, 3u}) {
+    ProtocolPtr p = make_protocol("ag", 20);
+    Rng cfg_rng(cfg_seed);
+    const Configuration start = initial::uniform_random(*p, cfg_rng);
+    u64 expected = 0;
+    bool first = true;
+    for (const auto policy : kAllPolicies) {
+      for (const u64 seed : {10u, 20u}) {
+        p->reset(start);
+        Rng rng(seed);
+        const RunResult r = run_adversarial(*p, policy, rng, 1'000'000);
+        ASSERT_TRUE(r.silent);
+        if (first) {
+          expected = r.productive_steps;
+          first = false;
+        } else {
+          EXPECT_EQ(r.productive_steps, expected)
+              << adversary_policy_name(policy) << " seed " << seed;
+        }
+      }
+    }
+  }
+}
+
+TEST(Adversary, RingProductiveStepCountIsScheduleIndependent) {
+  for (const u64 cfg_seed : {4u, 5u}) {
+    ProtocolPtr p = make_protocol("ring-of-traps", 30);
+    Rng cfg_rng(cfg_seed);
+    const Configuration start = initial::uniform_random(*p, cfg_rng);
+    u64 expected = 0;
+    bool first = true;
+    for (const auto policy : kAllPolicies) {
+      p->reset(start);
+      Rng rng(derive_seed(53, adversary_policy_name(policy)));
+      const RunResult r = run_adversarial(*p, policy, rng, 1'000'000);
+      ASSERT_TRUE(r.silent);
+      if (first) {
+        expected = r.productive_steps;
+        first = false;
+      } else {
+        EXPECT_EQ(r.productive_steps, expected)
+            << adversary_policy_name(policy);
+      }
+    }
+  }
+}
+
+TEST(Adversary, LineProtocolCanBeCycledForever) {
+  // The max-load adversary keeps the line protocol alive past any budget
+  // from a generic random start — stabilisation is probabilistic, not
+  // adversarial.  (random-productive, the honest jump chain, terminates.)
+  ProtocolPtr p = make_protocol("line-of-traps", 72);
+  Rng rng(derive_seed(54, "line-adversary"));
+  const Configuration start = initial::uniform_random(*p, rng);
+
+  p->reset(start);
+  const RunResult hostile =
+      run_adversarial(*p, AdversaryPolicy::kMaxLoad, rng, 100'000);
+  EXPECT_FALSE(hostile.silent)
+      << "max-load adversary unexpectedly let the line protocol finish";
+
+  p->reset(start);
+  const RunResult honest = run_adversarial(
+      *p, AdversaryPolicy::kRandomProductive, rng, 1'000'000);
+  EXPECT_TRUE(honest.silent);
+  EXPECT_TRUE(honest.valid);
+}
+
+TEST(Adversary, TreeStabilisesUnderAllImplementedPolicies) {
+  for (const auto policy : kAllPolicies) {
+    ProtocolPtr p = make_protocol("tree-ranking", 33);
+    Rng rng(derive_seed(55, adversary_policy_name(policy)));
+    p->reset(initial::uniform_random(*p, rng));
+    const RunResult r = run_adversarial(*p, policy, rng, 1'000'000);
+    EXPECT_TRUE(r.silent) << adversary_policy_name(policy);
+    EXPECT_TRUE(r.valid) << adversary_policy_name(policy);
+  }
+}
+
+TEST(Adversary, SilentStartReturnsImmediately) {
+  ProtocolPtr p = make_protocol("ag", 8);
+  Rng rng(1);
+  p->reset(initial::valid_ranking(*p));
+  const RunResult r =
+      run_adversarial(*p, AdversaryPolicy::kMaxLoad, rng, 1000);
+  EXPECT_EQ(r.interactions, 0u);
+  EXPECT_TRUE(r.silent);
+}
+
+TEST(Adversary, FinalConfigurationIsPublishedBack) {
+  ProtocolPtr p = make_protocol("ag", 10);
+  Rng rng(2);
+  p->reset(initial::all_in_state(*p, 3));
+  run_adversarial(*p, AdversaryPolicy::kStubborn, rng, 1'000'000);
+  EXPECT_TRUE(p->is_valid_ranking());
+  EXPECT_EQ(p->counts()[3], 1u);
+}
+
+}  // namespace
+}  // namespace pp

@@ -1,0 +1,164 @@
+// Cross-validation of the optimized count-based engines against the
+// agent-level reference simulator, which runs exclusively on the formal
+// transition function δ.
+//
+// Three layers of checks, per protocol:
+//   1. weight consistency: at every (subsampled) reachable configuration,
+//      Protocol::productive_weight() equals the brute-force count of
+//      δ-productive ordered pairs;
+//   2. trajectory validity: the reference simulator reaches a valid silent
+//      ranking from assorted starts;
+//   3. distributional agreement: mean stabilisation times of the reference
+//      simulator and the accelerated engine agree within sampling noise.
+#include "core/agent_simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/initial.hpp"
+#include "protocols/ag.hpp"
+#include "protocols/factory.hpp"
+#include "rng/seed_sequence.hpp"
+
+namespace pp {
+namespace {
+
+class AgentSimCrossCheck : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(AgentSimCrossCheck, WeightMatchesBruteForceAlongTrajectory) {
+  const std::string name = GetParam();
+  const u64 n = preferred_population(name, 72);
+  ProtocolPtr p = make_protocol(name, n);
+  Rng rng(derive_seed(11, name));
+  p->reset(initial::uniform_random(*p, rng));
+
+  EXPECT_EQ(p->productive_weight(),
+            reference_productive_weight(*p, p->counts()))
+      << "initial configuration";
+  u64 checks = 0;
+  RunOptions opt;
+  opt.on_change = [&](const Protocol& prot, u64) {
+    if (++checks % 32 == 0) {
+      EXPECT_EQ(prot.productive_weight(),
+                reference_productive_weight(prot, prot.counts()));
+    }
+    return true;
+  };
+  const RunResult r = run_accelerated(*p, rng, opt);
+  EXPECT_TRUE(r.valid);
+  EXPECT_EQ(p->productive_weight(),
+            reference_productive_weight(*p, p->counts()));
+  EXPECT_EQ(p->productive_weight(), 0u);
+}
+
+TEST_P(AgentSimCrossCheck, WeightMatchesOnAdversarialConfigurations) {
+  const std::string name = GetParam();
+  const u64 n = preferred_population(name, 72);
+  ProtocolPtr p = make_protocol(name, n);
+  Rng rng(derive_seed(12, name));
+  // A grab-bag of configurations, including ones heavy on extra states.
+  std::vector<Configuration> configs;
+  configs.push_back(initial::valid_ranking(*p));
+  configs.push_back(initial::all_in_state(*p, 0));
+  configs.push_back(
+      initial::all_in_state(*p, static_cast<StateId>(p->num_states() - 1)));
+  configs.push_back(initial::k_distant(*p, p->num_ranks() / 2, rng));
+  for (int i = 0; i < 5; ++i) {
+    configs.push_back(initial::uniform_random(*p, rng));
+  }
+  for (const auto& c : configs) {
+    p->reset(c);
+    EXPECT_EQ(p->productive_weight(),
+              reference_productive_weight(*p, p->counts()));
+  }
+}
+
+TEST_P(AgentSimCrossCheck, ReferenceSimulatorReachesValidRanking) {
+  const std::string name = GetParam();
+  const u64 n = preferred_population(name, 72);
+  ProtocolPtr p = make_protocol(name, n);
+  Rng rng(derive_seed(13, name));
+  AgentSimulator sim(*p, initial::uniform_random(*p, rng));
+  const RunResult r = sim.run(rng);
+  EXPECT_TRUE(r.silent) << name;
+  EXPECT_TRUE(r.valid) << name;
+  // Count bookkeeping inside the simulator stayed consistent.
+  u64 total = 0;
+  for (const u64 c : sim.counts()) total += c;
+  EXPECT_EQ(total, p->num_agents());
+}
+
+TEST_P(AgentSimCrossCheck, MeanTimesAgreeWithAcceleratedEngine) {
+  const std::string name = GetParam();
+  const u64 n = preferred_population(name, name == "line-of-traps" ? 72 : 24);
+  const int kTrials = 30;
+  double ref_sum = 0, acc_sum = 0;
+  for (int t = 0; t < kTrials; ++t) {
+    ProtocolPtr p = make_protocol(name, n);
+    Rng gen(derive_seed(14, name, static_cast<u64>(t)));
+    const Configuration start = initial::uniform_random(*p, gen);
+
+    Rng r1(derive_seed(15, name, static_cast<u64>(t)));
+    AgentSimulator sim(*p, start);
+    const RunResult ref = sim.run(r1);
+    EXPECT_TRUE(ref.valid);
+    ref_sum += ref.parallel_time;
+
+    Rng r2(derive_seed(16, name, static_cast<u64>(t)));
+    p->reset(start);
+    const RunResult acc = run_accelerated(*p, r2);
+    EXPECT_TRUE(acc.valid);
+    acc_sum += acc.parallel_time;
+  }
+  const double ratio = (acc_sum / kTrials) / (ref_sum / kTrials);
+  EXPECT_NEAR(ratio, 1.0, 0.35)
+      << name << ": ref=" << ref_sum / kTrials << " acc=" << acc_sum / kTrials;
+}
+
+std::string label(const ::testing::TestParamInfo<std::string>& info) {
+  std::string s = info.param;
+  for (char& c : s) {
+    if (c == '-') c = '_';
+  }
+  return s;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProtocols, AgentSimCrossCheck,
+                         ::testing::Values(std::string("ag"),
+                                           std::string("ring-of-traps"),
+                                           std::string("line-of-traps"),
+                                           std::string("tree-ranking")),
+                         label);
+
+TEST(AgentSimulator, StepAppliesTransitionExactly) {
+  // On a two-agent population the sampled pair is forced, so each step must
+  // implement δ verbatim.
+  ProtocolPtr p = make_protocol("ag", 2);
+  AgentSimulator sim(*p, initial::all_in_state(*p, 0));
+  Rng rng(1);
+  EXPECT_TRUE(sim.step(rng));
+  // (0,0) -> (0,1): counts {1,1}.
+  EXPECT_EQ(sim.counts()[0], 1u);
+  EXPECT_EQ(sim.counts()[1], 1u);
+  EXPECT_TRUE(sim.is_silent());
+  EXPECT_TRUE(sim.is_valid_ranking());
+}
+
+TEST(AgentSimulator, NullInteractionsChangeNothing) {
+  ProtocolPtr p = make_protocol("ag", 4);
+  AgentSimulator sim(*p, initial::valid_ranking(*p));
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(sim.step(rng));
+  EXPECT_TRUE(sim.is_silent());
+}
+
+TEST(ReferenceWeight, MatchesHandComputedExample) {
+  // AG with counts {3, 1, 0, 0}: productive pairs are the ordered pairs of
+  // distinct agents inside state 0: 3 * 2 = 6.
+  ProtocolPtr p = make_protocol("ag", 4);
+  EXPECT_EQ(reference_productive_weight(*p, {3, 1, 0, 0}), 6u);
+  EXPECT_EQ(reference_productive_weight(*p, {1, 1, 1, 1}), 0u);
+  EXPECT_EQ(reference_productive_weight(*p, {2, 2, 0, 0}), 4u);
+}
+
+}  // namespace
+}  // namespace pp

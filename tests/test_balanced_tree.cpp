@@ -1,0 +1,167 @@
+// Tests of the perfectly balanced binary tree (§5, Figure 2):
+// exact Figure 2 reproduction, structural recursion, level uniformity and
+// the h <= 2 log2 n height bound.
+#include "structures/balanced_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace pp {
+namespace {
+
+TEST(BalancedTree, SingleNode) {
+  BalancedTree t(1);
+  EXPECT_TRUE(t.is_leaf(0));
+  EXPECT_FALSE(t.is_branching(0));
+  EXPECT_EQ(t.height(), 0u);
+  EXPECT_EQ(t.leaves().size(), 1u);
+}
+
+TEST(BalancedTree, TwoNodesFormChain) {
+  BalancedTree t(2);
+  EXPECT_FALSE(t.is_leaf(0));
+  EXPECT_FALSE(t.is_branching(0));  // even size -> non-branching root
+  EXPECT_EQ(t.left_child(0), 1u);
+  EXPECT_TRUE(t.is_leaf(1));
+}
+
+TEST(BalancedTree, ThreeNodesBranch) {
+  BalancedTree t(3);
+  EXPECT_TRUE(t.is_branching(0));
+  EXPECT_EQ(t.left_child(0), 1u);
+  EXPECT_EQ(t.right_child(0), 2u);
+  EXPECT_TRUE(t.is_leaf(1));
+  EXPECT_TRUE(t.is_leaf(2));
+}
+
+TEST(BalancedTree, Figure2ExactMatch) {
+  // Paper Figure 2, n = 9: root 0 branches to 1 and 5; 1 chains to 2 which
+  // branches to 3 and 4; 5 chains to 6 which branches to 7 and 8.
+  BalancedTree t(9);
+  EXPECT_TRUE(t.is_branching(0));
+  EXPECT_EQ(t.left_child(0), 1u);
+  EXPECT_EQ(t.right_child(0), 5u);
+
+  EXPECT_FALSE(t.is_branching(1));
+  EXPECT_EQ(t.left_child(1), 2u);
+  EXPECT_TRUE(t.is_branching(2));
+  EXPECT_EQ(t.left_child(2), 3u);
+  EXPECT_EQ(t.right_child(2), 4u);
+  EXPECT_TRUE(t.is_leaf(3));
+  EXPECT_TRUE(t.is_leaf(4));
+
+  EXPECT_FALSE(t.is_branching(5));
+  EXPECT_EQ(t.left_child(5), 6u);
+  EXPECT_TRUE(t.is_branching(6));
+  EXPECT_EQ(t.left_child(6), 7u);
+  EXPECT_EQ(t.right_child(6), 8u);
+  EXPECT_TRUE(t.is_leaf(7));
+  EXPECT_TRUE(t.is_leaf(8));
+}
+
+TEST(BalancedTree, ParentPointersAreConsistent) {
+  for (const u64 n : {1u, 2u, 5u, 9u, 16u, 100u, 1023u}) {
+    BalancedTree t(n);
+    EXPECT_EQ(t.parent(0), kNoState);
+    for (StateId p = 0; p < n; ++p) {
+      if (!t.is_leaf(p)) {
+        EXPECT_EQ(t.parent(t.left_child(p)), p);
+        if (t.is_branching(p)) {
+          EXPECT_EQ(t.parent(t.right_child(p)), p);
+        }
+      }
+    }
+  }
+}
+
+TEST(BalancedTree, PreOrderNumberingCoversAllStates) {
+  // Every node id in [0, n) is reachable exactly once from the root via the
+  // child pointers.
+  for (const u64 n : {1u, 4u, 9u, 57u, 256u, 1000u}) {
+    BalancedTree t(n);
+    std::set<StateId> seen;
+    std::vector<StateId> stack{0};
+    while (!stack.empty()) {
+      const StateId p = stack.back();
+      stack.pop_back();
+      EXPECT_TRUE(seen.insert(p).second) << "node visited twice: " << p;
+      if (!t.is_leaf(p)) {
+        stack.push_back(t.left_child(p));
+        if (t.is_branching(p)) stack.push_back(t.right_child(p));
+      }
+    }
+    EXPECT_EQ(seen.size(), n);
+  }
+}
+
+TEST(BalancedTree, SubtreeSizesAreConsistent) {
+  for (const u64 n : {1u, 9u, 64u, 341u}) {
+    BalancedTree t(n);
+    EXPECT_EQ(t.subtree_size(0), n);
+    for (StateId p = 0; p < n; ++p) {
+      if (t.is_leaf(p)) {
+        EXPECT_EQ(t.subtree_size(p), 1u);
+      } else if (t.is_branching(p)) {
+        // Branching children root identical subtrees.
+        EXPECT_EQ(t.subtree_size(t.left_child(p)),
+                  t.subtree_size(t.right_child(p)));
+        EXPECT_EQ(t.subtree_size(p),
+                  1 + 2 * t.subtree_size(t.left_child(p)));
+      } else {
+        EXPECT_EQ(t.subtree_size(p), 1 + t.subtree_size(t.left_child(p)));
+      }
+    }
+  }
+}
+
+TEST(BalancedTree, LevelUniformity) {
+  // Paper property (1): all nodes at the same level are uniform — same
+  // arity and same subtree size.
+  for (const u64 n : {9u, 10u, 100u, 777u, 2048u}) {
+    BalancedTree t(n);
+    std::vector<u64> level_size(t.height() + 1, 0);
+    std::vector<i64> level_arity(t.height() + 1, -1);
+    std::vector<u64> level_subtree(t.height() + 1, 0);
+    for (StateId p = 0; p < n; ++p) {
+      const u32 d = t.depth(p);
+      const i64 arity = t.is_leaf(p) ? 0 : (t.is_branching(p) ? 2 : 1);
+      if (level_arity[d] == -1) {
+        level_arity[d] = arity;
+        level_subtree[d] = t.subtree_size(p);
+      } else {
+        EXPECT_EQ(level_arity[d], arity) << "n=" << n << " depth=" << d;
+        EXPECT_EQ(level_subtree[d], t.subtree_size(p));
+      }
+    }
+  }
+}
+
+TEST(BalancedTree, HeightBound) {
+  // Paper property (2): h <= 2 log2 n.
+  for (u64 n = 2; n <= 4096; n = n * 2 + (n % 3)) {
+    BalancedTree t(n);
+    EXPECT_LE(t.height(), 2.0 * std::log2(static_cast<double>(n)) + 1e-9)
+        << "n=" << n;
+  }
+}
+
+TEST(BalancedTree, LeavesAreExactlyChildlessNodes) {
+  BalancedTree t(37);
+  std::set<StateId> leaf_set(t.leaves().begin(), t.leaves().end());
+  for (StateId p = 0; p < 37; ++p) {
+    EXPECT_EQ(leaf_set.count(p) == 1, t.is_leaf(p));
+  }
+}
+
+TEST(BalancedTree, ToStringMentionsAllNodes) {
+  BalancedTree t(9);
+  const std::string s = t.to_string();
+  for (int p = 0; p < 9; ++p) {
+    EXPECT_NE(s.find(std::to_string(p)), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace pp

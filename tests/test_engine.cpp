@@ -1,0 +1,197 @@
+// Engine validation: the accelerated (geometric null-skipping) engine must
+// agree with the faithful uniform engine — identical final configurations
+// in distribution, statistically indistinguishable stabilisation times.
+#include "core/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/initial.hpp"
+#include "protocols/ag.hpp"
+#include "protocols/factory.hpp"
+#include "protocols/tree_ranking.hpp"
+
+namespace pp {
+namespace {
+
+TEST(Engine, UniformEngineReachesValidRanking) {
+  AgProtocol p(12);
+  Rng rng(1);
+  p.reset(initial::uniform_random(p, rng));
+  const RunResult r = run_uniform(p, rng);
+  EXPECT_TRUE(r.silent);
+  EXPECT_TRUE(r.valid);
+  EXPECT_GE(r.interactions, r.productive_steps);
+}
+
+TEST(Engine, SilentStartTerminatesImmediately) {
+  AgProtocol p(6);
+  Rng rng(2);
+  p.reset(initial::valid_ranking(p));
+  EXPECT_EQ(run_accelerated(p, rng).interactions, 0u);
+  EXPECT_EQ(run_uniform(p, rng).interactions, 0u);
+}
+
+TEST(Engine, ObserverSeesMonotoneInteractionCounts) {
+  AgProtocol p(16);
+  Rng rng(3);
+  p.reset(initial::all_in_state(p, 0));
+  u64 last = 0;
+  RunOptions opt;
+  opt.on_change = [&](const Protocol&, u64 t) {
+    EXPECT_GT(t, last);
+    last = t;
+    return true;
+  };
+  const RunResult r = run_accelerated(p, rng, opt);
+  EXPECT_EQ(last, r.interactions);
+}
+
+TEST(Engine, ObserverCanAbort) {
+  AgProtocol p(32);
+  Rng rng(4);
+  p.reset(initial::all_in_state(p, 0));
+  int calls = 0;
+  RunOptions opt;
+  opt.on_change = [&](const Protocol&, u64) { return ++calls < 5; };
+  const RunResult r = run_accelerated(p, rng, opt);
+  EXPECT_TRUE(r.aborted);
+  EXPECT_EQ(calls, 5);
+  EXPECT_EQ(r.productive_steps, 5u);
+}
+
+TEST(Engine, UniformBudgetIsExact) {
+  AgProtocol p(32);
+  Rng rng(5);
+  p.reset(initial::all_in_state(p, 0));
+  RunOptions opt;
+  opt.max_interactions = 1000;
+  const RunResult r = run_uniform(p, rng, opt);
+  EXPECT_EQ(r.interactions, 1000u);
+  EXPECT_FALSE(r.silent);
+}
+
+TEST(Engine, AcceleratedCountsMoreInteractionsThanProductiveSteps) {
+  AgProtocol p(64);
+  Rng rng(6);
+  p.reset(initial::uniform_random(p, rng));
+  const RunResult r = run_accelerated(p, rng);
+  EXPECT_GT(r.interactions, r.productive_steps)
+      << "null interactions must be accounted for";
+}
+
+// The central validation: distributions of stabilisation times agree.
+TEST(Engine, AcceleratedMatchesUniformStatistically) {
+  const u64 n = 24;
+  const int kTrials = 60;
+  auto mean_time = [&](bool accelerated) {
+    double sum = 0;
+    for (int t = 0; t < kTrials; ++t) {
+      AgProtocol p(n);
+      Rng rng(1000 + static_cast<u64>(t) + (accelerated ? 0 : 500000));
+      p.reset(initial::all_in_state(p, 0));
+      const RunResult r =
+          accelerated ? run_accelerated(p, rng) : run_uniform(p, rng);
+      EXPECT_TRUE(r.valid);
+      sum += r.parallel_time;
+    }
+    return sum / kTrials;
+  };
+  const double acc = mean_time(true);
+  const double uni = mean_time(false);
+  // Means of ~60 samples of a concentrated distribution: require agreement
+  // within 25% (generous; failures would indicate a systematic bias).
+  EXPECT_NEAR(acc / uni, 1.0, 0.25) << "acc=" << acc << " uni=" << uni;
+}
+
+TEST(Engine, EnginesAgreeForProtocolWithExtraStates) {
+  const u64 n = 16;
+  const int kTrials = 40;
+  auto mean_time = [&](bool accelerated) {
+    double sum = 0;
+    for (int t = 0; t < kTrials; ++t) {
+      TreeRankingProtocol p(n);
+      Rng rng(2000 + static_cast<u64>(t) + (accelerated ? 0 : 900000));
+      p.reset(initial::all_in_state(p, p.x_state(1)));
+      const RunResult r =
+          accelerated ? run_accelerated(p, rng) : run_uniform(p, rng);
+      EXPECT_TRUE(r.valid);
+      sum += r.parallel_time;
+    }
+    return sum / kTrials;
+  };
+  const double acc = mean_time(true);
+  const double uni = mean_time(false);
+  EXPECT_NEAR(acc / uni, 1.0, 0.30) << "acc=" << acc << " uni=" << uni;
+}
+
+TEST(Engine, ZeroBudgetDoesNothing) {
+  AgProtocol p(16);
+  Rng rng(21);
+  p.reset(initial::all_in_state(p, 0));
+  RunOptions opt;
+  opt.max_interactions = 0;
+  for (const auto run : {run_accelerated, run_uniform}) {
+    const RunResult r = run(p, rng, opt);
+    EXPECT_EQ(r.interactions, 0u);
+    EXPECT_EQ(r.productive_steps, 0u);
+    EXPECT_FALSE(r.silent);
+  }
+  EXPECT_EQ(p.counts()[0], 16u) << "configuration untouched";
+}
+
+TEST(Engine, UniformObserverCanAbort) {
+  AgProtocol p(16);
+  Rng rng(22);
+  p.reset(initial::all_in_state(p, 0));
+  int calls = 0;
+  RunOptions opt;
+  opt.on_change = [&](const Protocol&, u64) { return ++calls < 3; };
+  const RunResult r = run_uniform(p, rng, opt);
+  EXPECT_TRUE(r.aborted);
+  EXPECT_EQ(r.productive_steps, 3u);
+}
+
+TEST(Engine, ResetAndRerunOnSameProtocolObject) {
+  // Protocol objects are reusable across runs; bookkeeping must fully
+  // reinitialise.
+  AgProtocol p(20);
+  Rng rng(23);
+  for (int round = 0; round < 5; ++round) {
+    p.reset(initial::uniform_random(p, rng));
+    const RunResult r = run_accelerated(p, rng);
+    ASSERT_TRUE(r.valid) << "round " << round;
+  }
+  // And resetting a silent protocol back to chaos revives it.
+  p.reset(initial::all_in_state(p, 7));
+  EXPECT_FALSE(p.is_silent());
+}
+
+TEST(Engine, ParallelTimeIsCensoredAtBudget) {
+  AgProtocol p(64);
+  Rng rng(24);
+  p.reset(initial::all_in_state(p, 0));
+  RunOptions opt;
+  opt.max_interactions = 640;
+  const RunResult r = run_accelerated(p, rng, opt);
+  EXPECT_LE(r.interactions, 640u);
+  EXPECT_DOUBLE_EQ(r.parallel_time,
+                   static_cast<double>(r.interactions) / 64.0);
+}
+
+TEST(Engine, EveryProtocolAgreesOnSilenceEqualsValidRanking) {
+  for (const auto name : protocol_names()) {
+    const u64 n = preferred_population(name, 80);
+    ProtocolPtr p = make_protocol(name, n);
+    Rng rng(7);
+    p->reset(initial::uniform_random(*p, rng));
+    const RunResult r = run_accelerated(*p, rng);
+    EXPECT_TRUE(r.silent) << name;
+    EXPECT_TRUE(r.valid) << name;
+    EXPECT_EQ(p->is_silent(), p->is_valid_ranking()) << name;
+  }
+}
+
+}  // namespace
+}  // namespace pp

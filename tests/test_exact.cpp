@@ -1,0 +1,192 @@
+// Exact Markov-chain analysis vs. hand computation and vs. the Monte-Carlo
+// engines — ground-truth validation of the whole simulation stack at small
+// population sizes.
+#include "analysis/exact.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/agent_simulator.hpp"
+#include "core/engine.hpp"
+#include "core/initial.hpp"
+#include "protocols/factory.hpp"
+#include "protocols/line_of_traps.hpp"
+#include "protocols/tree_ranking.hpp"
+#include "rng/seed_sequence.hpp"
+
+namespace pp {
+namespace {
+
+TEST(Exact, AgTwoAgentsHandComputed) {
+  // n = 2, both agents in state 0.  The only ordered pairs are (a,b) and
+  // (b,a), both productive: W = 2 = D, so exactly one interaction fires
+  // the rule, reaching {1,1} which is silent.  E[interactions] = 1,
+  // parallel time = 1/2.
+  ProtocolPtr p = make_protocol("ag", 2);
+  const ExactAnalysis a = analyze_exact(*p, initial::all_in_state(*p, 0));
+  EXPECT_NEAR(a.expected_parallel_time, 0.5, 1e-9);
+  EXPECT_EQ(a.reachable_configurations, 2u);
+  EXPECT_EQ(a.silent_configurations, 1u);
+  EXPECT_TRUE(a.all_silent_are_rankings);
+}
+
+TEST(Exact, AgThreeAgentsHandComputed) {
+  // n = 3, all in state 0: {3,0,0}.  D = 6.
+  // {3,0,0}: W = 6, all transitions -> {2,1,0}. E = 1 + E210.
+  // {2,1,0}: W = 2 -> {1,1,1}? rule at state 0: {2,1,0} -> {1,2,0}:
+  //   wait: two agents in 0 interact: one stays 0... outputs (0,1):
+  //   counts {1,2,0}. W of {2,1,0} also includes pair in state... only
+  //   state 0 has 2 agents: W = 2, successor {1,2,0}.
+  // {1,2,0}: state 1 doubled: W = 2 -> {1,1,1} silent.
+  // E{1,2,0} = 6/2 = 3.  E{2,1,0} = 3 + 3 = 6.  E{3,0,0} = 6/6 + ... = 1 + 6 = 7.
+  // Parallel time = 7/3.
+  ProtocolPtr p = make_protocol("ag", 3);
+  const ExactAnalysis a = analyze_exact(*p, initial::all_in_state(*p, 0));
+  EXPECT_NEAR(a.expected_parallel_time, 7.0 / 3.0, 1e-9);
+  EXPECT_TRUE(a.all_silent_are_rankings);
+}
+
+TEST(Exact, SilentStartHasZeroTime) {
+  ProtocolPtr p = make_protocol("ring-of-traps", 6);
+  const ExactAnalysis a = analyze_exact(*p, initial::valid_ranking(*p));
+  EXPECT_DOUBLE_EQ(a.expected_parallel_time, 0.0);
+  EXPECT_EQ(a.reachable_configurations, 1u);
+}
+
+class ExactVsMonteCarlo : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ExactVsMonteCarlo, SimulatedMeanMatchesExactExpectation) {
+  const std::string name = GetParam();
+  const u64 n = std::max<u64>(min_population(name), 5);
+  if (name == "line-of-traps") GTEST_SKIP() << "min n = 72: chain too large";
+  ProtocolPtr p = make_protocol(name, n);
+  const Configuration start = initial::all_in_state(*p, 0);
+
+  const ExactAnalysis exact = analyze_exact(*p, start);
+  ASSERT_GT(exact.expected_parallel_time, 0.0);
+  EXPECT_EQ(exact.silent_configurations, 1u)
+      << "the unique silent configuration is the ranking";
+  EXPECT_TRUE(exact.all_silent_are_rankings);
+
+  // Accelerated engine.
+  const int kTrials = 4000;
+  double acc_sum = 0;
+  for (int t = 0; t < kTrials; ++t) {
+    Rng rng(derive_seed(31, name, static_cast<u64>(t)));
+    p->reset(start);
+    acc_sum += run_accelerated(*p, rng).parallel_time;
+  }
+  const double acc_mean = acc_sum / kTrials;
+  EXPECT_NEAR(acc_mean / exact.expected_parallel_time, 1.0, 0.06)
+      << name << ": exact=" << exact.expected_parallel_time
+      << " accelerated=" << acc_mean;
+
+  // Agent-level reference simulator (fewer trials; it is slow).
+  double ref_sum = 0;
+  const int kRefTrials = 800;
+  for (int t = 0; t < kRefTrials; ++t) {
+    Rng rng(derive_seed(32, name, static_cast<u64>(t)));
+    AgentSimulator sim(*p, start);
+    ref_sum += sim.run(rng).parallel_time;
+  }
+  const double ref_mean = ref_sum / kRefTrials;
+  EXPECT_NEAR(ref_mean / exact.expected_parallel_time, 1.0, 0.12)
+      << name << ": exact=" << exact.expected_parallel_time
+      << " reference=" << ref_mean;
+}
+
+std::string label(const ::testing::TestParamInfo<std::string>& info) {
+  std::string s = info.param;
+  for (char& c : s) {
+    if (c == '-') c = '_';
+  }
+  return s;
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallPopulations, ExactVsMonteCarlo,
+                         ::testing::Values(std::string("ag"),
+                                           std::string("ring-of-traps"),
+                                           std::string("line-of-traps"),
+                                           std::string("tree-ranking")),
+                         label);
+
+TEST(Exact, UniqueSilentConfigurationAcrossStarts) {
+  // From several starts of a 6-agent ring protocol, the only reachable
+  // silent configuration is the valid ranking (stability, exhaustively).
+  ProtocolPtr p = make_protocol("ring-of-traps", 6);
+  Rng rng(33);
+  for (int trial = 0; trial < 5; ++trial) {
+    const ExactAnalysis a =
+        analyze_exact(*p, initial::uniform_random(*p, rng));
+    EXPECT_EQ(a.silent_configurations, 1u);
+    EXPECT_TRUE(a.all_silent_are_rankings);
+  }
+}
+
+TEST(Exact, ModifiedProtocolProvablyCannotStabilise) {
+  // Exhaustive proof at n = 3: from {0,2,1} the modified (no-reset) tree
+  // protocol reaches NO silent configuration at all — the reset mechanism
+  // is necessary, not just convenient.
+  TreeRankingProtocol p(3, 2, TreeRankingProtocol::ResetMode::kModified);
+  Configuration c;
+  c.counts.assign(p.num_states(), 0);
+  c.counts[1] = 2;
+  c.counts[2] = 1;
+  ExactOptions opt;
+  opt.max_iterations = 200;  // the system has no solution; don't wait
+  // We only need the reachability part: count silent configurations.
+  // Run the analysis with a bounded iteration budget and ignore the
+  // (divergent) expectation.
+  bool asserted = false;
+  // analyze_exact asserts on non-convergence; detect via silent count by
+  // enumerating with epsilon large enough to "converge" immediately.
+  opt.epsilon = 1e300;
+  const ExactAnalysis a = analyze_exact(p, c, opt);
+  asserted = true;
+  EXPECT_TRUE(asserted);
+  EXPECT_EQ(a.silent_configurations, 0u)
+      << "no silent configuration reachable without the reset";
+  EXPECT_GT(a.reachable_configurations, 1u);
+
+  // The standard protocol from the same start has exactly one silent
+  // configuration: the ranking.
+  TreeRankingProtocol std_p(3, 2);
+  const ExactAnalysis std_a = analyze_exact(std_p, c);
+  EXPECT_EQ(std_a.silent_configurations, 1u);
+  EXPECT_TRUE(std_a.all_silent_are_rankings);
+  EXPECT_GT(std_a.expected_parallel_time, 0.0);
+}
+
+TEST(Exact, SingleLineMatchesMonteCarlo) {
+  // Validates the §4.1 single-line model against the exact chain: 6 agents
+  // on a 2-trap line with an absorbing X.
+  SingleLineProtocol p(6, 2, 2);
+  Configuration c;
+  c.counts.assign(p.num_states(), 0);
+  c.counts[p.gate(1)] = 4;  // 4 agents at the entrance gate
+  c.counts[p.top(0)] = 2;   // 2 at the exit trap's top inner state
+  const ExactAnalysis exact = analyze_exact(p, c);
+  ASSERT_GT(exact.expected_parallel_time, 0.0);
+  EXPECT_GE(exact.silent_configurations, 1u);
+
+  double sum = 0;
+  const int kTrials = 4000;
+  for (int t = 0; t < kTrials; ++t) {
+    Rng rng(derive_seed(34, "single-line-exact", static_cast<u64>(t)));
+    p.reset(c);
+    sum += run_accelerated(p, rng).parallel_time;
+  }
+  EXPECT_NEAR((sum / kTrials) / exact.expected_parallel_time, 1.0, 0.06);
+}
+
+TEST(Exact, TreeProtocolChainIncludesBufferStates) {
+  // n = 5 tree with k = 1: starting everyone on a leaf forces resets
+  // through the buffer line; the chain must still absorb uniquely.
+  ProtocolPtr p = std::make_unique<TreeRankingProtocol>(5, 1);
+  const ExactAnalysis a = analyze_exact(
+      *p, initial::all_in_state(*p, p->num_ranks() - 1));
+  EXPECT_GT(a.expected_parallel_time, 0.0);
+  EXPECT_TRUE(a.all_silent_are_rankings);
+}
+
+}  // namespace
+}  // namespace pp

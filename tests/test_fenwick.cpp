@@ -1,0 +1,145 @@
+// Unit tests for the Fenwick tree with weighted sampling.
+#include "ds/fenwick.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "rng/random.hpp"
+
+namespace pp {
+namespace {
+
+TEST(Fenwick, EmptyTreeHasZeroTotal) {
+  Fenwick f(10);
+  EXPECT_EQ(f.total(), 0u);
+  EXPECT_EQ(f.size(), 10u);
+  for (u64 i = 0; i < 10; ++i) EXPECT_EQ(f.get(i), 0u);
+}
+
+TEST(Fenwick, AddAndGet) {
+  Fenwick f(8);
+  f.add(3, 5);
+  f.add(7, 2);
+  EXPECT_EQ(f.get(3), 5u);
+  EXPECT_EQ(f.get(7), 2u);
+  EXPECT_EQ(f.total(), 7u);
+  f.add(3, -5);
+  EXPECT_EQ(f.get(3), 0u);
+  EXPECT_EQ(f.total(), 2u);
+}
+
+TEST(Fenwick, SetOverwrites) {
+  Fenwick f(4);
+  f.set(1, 10);
+  f.set(1, 3);
+  EXPECT_EQ(f.get(1), 3u);
+  EXPECT_EQ(f.total(), 3u);
+}
+
+TEST(Fenwick, PrefixSums) {
+  Fenwick f(6);
+  const u64 w[6] = {1, 0, 4, 2, 0, 3};
+  for (u64 i = 0; i < 6; ++i) f.set(i, w[i]);
+  u64 expect = 0;
+  for (u64 i = 0; i <= 6; ++i) {
+    EXPECT_EQ(f.prefix(i), expect) << "prefix " << i;
+    if (i < 6) expect += w[i];
+  }
+}
+
+TEST(Fenwick, FindReturnsBucketOfTarget) {
+  Fenwick f(5);
+  // weights: 2, 0, 3, 1, 0 -> cumulative 2, 2, 5, 6, 6
+  f.set(0, 2);
+  f.set(2, 3);
+  f.set(3, 1);
+  EXPECT_EQ(f.find(0), 0u);
+  EXPECT_EQ(f.find(1), 0u);
+  EXPECT_EQ(f.find(2), 2u);
+  EXPECT_EQ(f.find(3), 2u);
+  EXPECT_EQ(f.find(4), 2u);
+  EXPECT_EQ(f.find(5), 3u);
+}
+
+TEST(Fenwick, FindNeverReturnsZeroWeightIndex) {
+  Fenwick f(16);
+  for (u64 i = 0; i < 16; i += 2) f.set(i, i + 1);  // odd indices stay 0
+  for (u64 t = 0; t < f.total(); ++t) {
+    const u64 idx = f.find(t);
+    EXPECT_GT(f.get(idx), 0u) << "target " << t;
+  }
+}
+
+TEST(Fenwick, SizeOneTree) {
+  Fenwick f(1);
+  f.set(0, 4);
+  EXPECT_EQ(f.find(0), 0u);
+  EXPECT_EQ(f.find(3), 0u);
+  EXPECT_EQ(f.prefix(1), 4u);
+}
+
+TEST(Fenwick, NonPowerOfTwoSizes) {
+  for (const u64 size : {3u, 5u, 7u, 9u, 100u, 1000u}) {
+    Fenwick f(size);
+    for (u64 i = 0; i < size; ++i) f.set(i, i % 3);
+    u64 total = 0;
+    for (u64 i = 0; i < size; ++i) total += i % 3;
+    EXPECT_EQ(f.total(), total) << "size " << size;
+    if (total > 0) {
+      EXPECT_GT(f.get(f.find(total - 1)), 0u);
+      EXPECT_EQ(f.find(0), 1u) << "first positive weight is at index 1";
+    }
+  }
+}
+
+TEST(Fenwick, ResetClears) {
+  Fenwick f(4);
+  f.set(2, 9);
+  f.reset(6);
+  EXPECT_EQ(f.size(), 6u);
+  EXPECT_EQ(f.total(), 0u);
+}
+
+TEST(Fenwick, RandomizedAgainstNaive) {
+  Rng rng(123);
+  Fenwick f(37);
+  std::vector<u64> naive(37, 0);
+  for (int step = 0; step < 2000; ++step) {
+    const u64 i = rng.below(37);
+    const u64 w = rng.below(20);
+    f.set(i, w);
+    naive[i] = w;
+    // Spot-check prefix at a random index.
+    const u64 q = rng.below(38);
+    u64 expect = 0;
+    for (u64 j = 0; j < q; ++j) expect += naive[j];
+    ASSERT_EQ(f.prefix(q), expect);
+  }
+  // Exhaustive find() check against cumulative sums.
+  u64 cum = 0;
+  for (u64 i = 0; i < 37; ++i) {
+    for (u64 t = cum; t < cum + naive[i]; ++t) ASSERT_EQ(f.find(t), i);
+    cum += naive[i];
+  }
+}
+
+TEST(Fenwick, SamplingIsProportional) {
+  Rng rng(77);
+  Fenwick f(4);
+  f.set(0, 10);
+  f.set(1, 30);
+  f.set(2, 0);
+  f.set(3, 60);
+  std::map<u64, u64> hits;
+  const int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++hits[f.find(rng.below(f.total()))];
+  EXPECT_EQ(hits[2], 0u);
+  EXPECT_NEAR(static_cast<double>(hits[0]) / kDraws, 0.10, 0.01);
+  EXPECT_NEAR(static_cast<double>(hits[1]) / kDraws, 0.30, 0.015);
+  EXPECT_NEAR(static_cast<double>(hits[3]) / kDraws, 0.60, 0.015);
+}
+
+}  // namespace
+}  // namespace pp

@@ -1,0 +1,124 @@
+// Integration tests: the experiment harness end-to-end (factories,
+// generators, seeding discipline, censoring) and cross-protocol
+// comparisons that the benches rely on.
+#include <gtest/gtest.h>
+
+#include "analysis/experiment.hpp"
+#include "analysis/fit.hpp"
+#include "core/initial.hpp"
+#include "protocols/factory.hpp"
+
+namespace pp {
+namespace {
+
+TEST(Experiment, MeasureRunsRequestedTrials) {
+  MeasureOptions opt;
+  opt.trials = 4;
+  opt.label = "integration-measure";
+  const Measurement m = measure(
+      [] { return make_protocol("ag", 24); }, gen_uniform_random(), opt);
+  EXPECT_EQ(m.parallel_times.size(), 4u);
+  EXPECT_EQ(m.timeouts, 0u);
+  EXPECT_EQ(m.invalid, 0u);
+  for (const double t : m.parallel_times) EXPECT_GT(t, 0.0);
+}
+
+TEST(Experiment, MeasureIsReproducibleForSameSeed) {
+  MeasureOptions opt;
+  opt.trials = 3;
+  opt.label = "integration-repro";
+  opt.root_seed = 42;
+  const auto run = [&] {
+    return measure([] { return make_protocol("ring-of-traps", 30); },
+                   gen_uniform_random(), opt)
+        .parallel_times;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(Experiment, DifferentLabelsGiveDifferentStreams) {
+  MeasureOptions a;
+  a.trials = 3;
+  a.label = "stream-a";
+  MeasureOptions b = a;
+  b.label = "stream-b";
+  const auto factory = [] { return make_protocol("ag", 24); };
+  EXPECT_NE(measure(factory, gen_uniform_random(), a).parallel_times,
+            measure(factory, gen_uniform_random(), b).parallel_times);
+}
+
+TEST(Experiment, TimeoutsAreCountedAndCensored) {
+  MeasureOptions opt;
+  opt.trials = 3;
+  opt.label = "integration-timeout";
+  opt.max_interactions = 50;  // far too small for n = 64 from chaos
+  const Measurement m = measure(
+      [] { return make_protocol("ag", 64); }, gen_all_in_state(0), opt);
+  EXPECT_EQ(m.timeouts, 3u);
+  for (const double t : m.parallel_times) {
+    EXPECT_DOUBLE_EQ(t, 50.0 / 64.0);
+  }
+}
+
+TEST(Experiment, KDistantGeneratorPluggedIn) {
+  MeasureOptions opt;
+  opt.trials = 3;
+  opt.label = "integration-kdistant";
+  const Measurement m =
+      measure([] { return make_protocol("ring-of-traps", 56); },
+              gen_k_distant(2), opt);
+  EXPECT_EQ(m.timeouts, 0u);
+}
+
+// The headline comparison the paper motivates: with O(log n) extra states
+// the tree protocol beats the quadratic baseline comfortably even at
+// moderate n.
+TEST(Integration, TreeBeatsAgAtModerateSize) {
+  MeasureOptions opt;
+  opt.trials = 5;
+  opt.label = "integration-tree-vs-ag";
+  const u64 n = 256;
+  const Measurement ag = measure(
+      [n] { return make_protocol("ag", n); }, gen_uniform_random(), opt);
+  const Measurement tree =
+      measure([n] { return make_protocol("tree-ranking", n); },
+              gen_uniform_random(), opt);
+  EXPECT_LT(tree.summary().mean * 2, ag.summary().mean)
+      << "tree=" << tree.summary().mean << " ag=" << ag.summary().mean;
+}
+
+// Ring beats AG when k is small (Theorem 1's regime k = o(sqrt n)).
+TEST(Integration, RingBeatsAgForSmallK) {
+  MeasureOptions opt;
+  opt.trials = 5;
+  opt.label = "integration-ring-vs-ag";
+  const u64 n = 210;  // 14 * 15
+  const Measurement ring =
+      measure([n] { return make_protocol("ring-of-traps", n); },
+              gen_k_distant(1), opt);
+  const Measurement ag =
+      measure([n] { return make_protocol("ag", n); }, gen_k_distant(1), opt);
+  EXPECT_LT(ring.summary().mean, ag.summary().mean)
+      << "ring=" << ring.summary().mean << " ag=" << ag.summary().mean;
+}
+
+// Sanity on the fitting pipeline over real measurements: AG's exponent over
+// a small dyadic sweep should land near 2.
+TEST(Integration, AgExponentRoughlyQuadratic) {
+  std::vector<double> xs, ys;
+  for (const u64 n : {32u, 64u, 128u}) {
+    MeasureOptions opt;
+    opt.trials = 4;
+    opt.label = "integration-ag-exponent";
+    const Measurement m = measure(
+        [n] { return make_protocol("ag", n); }, gen_uniform_random(), opt);
+    xs.push_back(static_cast<double>(n));
+    ys.push_back(m.summary().mean);
+  }
+  const PowerFit f = fit_power(xs, ys);
+  EXPECT_GT(f.exponent, 1.5);
+  EXPECT_LT(f.exponent, 2.5);
+}
+
+}  // namespace
+}  // namespace pp

@@ -1,0 +1,61 @@
+// Leader election via ranking: unique stable leader, recovery after
+// transient faults (the self-stabilisation guarantee end-to-end).
+#include "core/leader_election.hpp"
+
+#include <gtest/gtest.h>
+
+#include "protocols/factory.hpp"
+
+namespace pp {
+namespace {
+
+TEST(LeaderElection, ElectsUniqueLeaderFromChaos) {
+  for (const auto name : protocol_names()) {
+    const u64 n = preferred_population(name, 72);
+    LeaderElection le(make_protocol(name, n));
+    Rng rng(1);
+    le.protocol().reset(initial::uniform_random(le.protocol(), rng));
+    const RunResult r = le.stabilise(rng);
+    EXPECT_TRUE(r.silent) << name;
+    EXPECT_TRUE(le.has_stable_unique_leader()) << name;
+    EXPECT_EQ(le.leader_count(), 1u) << name;
+  }
+}
+
+TEST(LeaderElection, RecoversAfterFaultInjection) {
+  LeaderElection le(make_protocol("tree-ranking", 50));
+  Rng rng(2);
+  le.protocol().reset(initial::uniform_random(le.protocol(), rng));
+  ASSERT_TRUE(le.stabilise(rng).silent);
+  ASSERT_TRUE(le.has_stable_unique_leader());
+
+  for (int round = 0; round < 5; ++round) {
+    le.inject_faults(10, rng);
+    const RunResult r = le.stabilise(rng);
+    EXPECT_TRUE(r.silent) << "round " << round;
+    EXPECT_TRUE(le.has_stable_unique_leader()) << "round " << round;
+  }
+}
+
+TEST(LeaderElection, FaultsCanDethroneButRecoveryRestoresExactlyOne) {
+  LeaderElection le(make_protocol("ring-of-traps", 42));
+  Rng rng(3);
+  le.protocol().reset(initial::valid_ranking(le.protocol()));
+  ASSERT_TRUE(le.has_stable_unique_leader());
+  // Hammer the population with faults equal to half its size.
+  le.inject_faults(21, rng);
+  le.stabilise(rng);
+  EXPECT_EQ(le.leader_count(), 1u);
+}
+
+TEST(LeaderElection, ZeroFaultInjectionKeepsSilence) {
+  LeaderElection le(make_protocol("ag", 16));
+  Rng rng(4);
+  le.protocol().reset(initial::valid_ranking(le.protocol()));
+  le.inject_faults(0, rng);
+  EXPECT_TRUE(le.protocol().is_silent());
+  EXPECT_EQ(le.stabilise(rng).interactions, 0u);
+}
+
+}  // namespace
+}  // namespace pp

@@ -1,0 +1,113 @@
+// Tests of the line-of-traps layout (§4): canonical 3m^3(m+1) shape,
+// generic-n balance, indexing inverses and routing-slot structure.
+#include "structures/line_layout.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pp {
+namespace {
+
+TEST(LineLayout, CanonicalSizes) {
+  EXPECT_EQ(LineLayout::canonical_n(2), 72u);
+  EXPECT_EQ(LineLayout::canonical_n(4), 960u);
+  EXPECT_EQ(LineLayout::canonical_n(6), 4536u);
+}
+
+TEST(LineLayout, CanonicalShape) {
+  for (const u64 m : {2u, 4u}) {
+    LineLayout layout(LineLayout::canonical_n(m));
+    EXPECT_EQ(layout.m(), m);
+    EXPECT_EQ(layout.num_lines(), m * m);
+    EXPECT_EQ(layout.traps_per_line(), 3 * m);
+    for (u64 l = 0; l < layout.num_lines(); ++l) {
+      EXPECT_EQ(layout.line_size(l), 3 * m * (m + 1));
+      for (u64 a = 0; a < layout.traps_per_line(); ++a) {
+        EXPECT_EQ(layout.trap_size(l, a), m + 1);
+      }
+    }
+  }
+}
+
+TEST(LineLayout, GenericNCoversAllStatesOnce) {
+  for (const u64 n : {72u, 73u, 100u, 500u, 960u, 1000u}) {
+    LineLayout layout(n);
+    u64 covered = 0;
+    for (u64 l = 0; l < layout.num_lines(); ++l) {
+      EXPECT_EQ(layout.line_offset(l), covered);
+      u64 in_line = 0;
+      for (u64 a = 0; a < layout.traps_per_line(); ++a) {
+        EXPECT_EQ(layout.trap_offset(l, a), covered + in_line);
+        EXPECT_GE(layout.trap_size(l, a), 2u) << "gate plus an inner state";
+        in_line += layout.trap_size(l, a);
+      }
+      EXPECT_EQ(in_line, layout.line_size(l));
+      covered += in_line;
+    }
+    EXPECT_EQ(covered, n);
+  }
+}
+
+TEST(LineLayout, IndexingInverses) {
+  LineLayout layout(200);
+  for (StateId s = 0; s < 200; ++s) {
+    const u64 l = layout.line_of(s);
+    const u64 a = layout.trap_of(s);
+    const u64 b = layout.local_of(s);
+    EXPECT_EQ(layout.trap_offset(l, a) + b, s);
+    EXPECT_LT(b, layout.trap_size(l, a));
+  }
+}
+
+TEST(LineLayout, GatesTopsEntranceExit) {
+  LineLayout layout(72);  // m=2: 4 lines, 6 traps of size 3
+  for (u64 l = 0; l < 4; ++l) {
+    EXPECT_EQ(layout.exit_gate(l), layout.gate(l, 0));
+    EXPECT_EQ(layout.entrance_gate(l), layout.gate(l, 5));
+    for (u64 a = 0; a < 6; ++a) {
+      EXPECT_EQ(layout.local_of(layout.gate(l, a)), 0u);
+      EXPECT_EQ(layout.local_of(layout.top(l, a)),
+                layout.trap_size(l, a) - 1);
+    }
+  }
+}
+
+TEST(LineLayout, SlotsSplitTrapsInThreeEqualGroups) {
+  LineLayout layout(960);  // m = 4, 12 traps per line
+  u64 per_slot[3] = {0, 0, 0};
+  for (u64 a = 0; a < layout.traps_per_line(); ++a) {
+    const u32 i = layout.slot_of_trap(a);
+    ASSERT_LT(i, 3u);
+    ++per_slot[i];
+  }
+  EXPECT_EQ(per_slot[0], 4u);
+  EXPECT_EQ(per_slot[1], 4u);
+  EXPECT_EQ(per_slot[2], 4u);
+}
+
+TEST(LineLayout, RouteTargetsAreEntranceGatesOfGraphNeighbours) {
+  LineLayout layout(72);
+  for (StateId s = 0; s < 72; ++s) {
+    const u64 l = layout.line_of(s);
+    const u32 slot = layout.slot_of_trap(layout.trap_of(s));
+    const u32 neighbour =
+        layout.graph().neighbour(static_cast<u32>(l), slot);
+    EXPECT_EQ(layout.route_target(s), layout.entrance_gate(neighbour));
+    EXPECT_NE(neighbour, l) << "routing never targets its own line";
+  }
+}
+
+TEST(LineLayout, AllStatesOfATrapRouteToTheSameLine) {
+  LineLayout layout(960);
+  for (u64 l = 0; l < layout.num_lines(); ++l) {
+    for (u64 a = 0; a < layout.traps_per_line(); ++a) {
+      const StateId first = layout.gate(l, a);
+      for (u64 b = 1; b < layout.trap_size(l, a); ++b) {
+        EXPECT_EQ(layout.route_target(static_cast<StateId>(first + b)),
+                  layout.route_target(first));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pp

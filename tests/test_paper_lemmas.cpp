@@ -1,0 +1,193 @@
+// Property tests pinned to specific lemmas and facts of the paper that the
+// module-level suites don't already cover:
+//
+//   * Lemma 2   — configurations become and remain tidy (ring protocol);
+//   * Fact 2    — saturating a trap with d gaps consumes ~2d arrivals
+//                 (checked as: once saturated, never unsaturated, and the
+//                 gap count is non-increasing);
+//   * s(C) <= r(C) along entire line-protocol trajectories, with both
+//                 hitting 0 exactly at silence (§4.1/§4.2 definitions);
+//   * Corollary 1 (Section 7, Chernoff) — randomly distributing S tokens
+//                 among M lines loads every line by at most (1+2eta)mu for
+//                 mu > ln n, and mu + 2eta ln n otherwise, whp.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/engine.hpp"
+#include "core/initial.hpp"
+#include "protocols/line_of_traps.hpp"
+#include "protocols/ring_of_traps.hpp"
+#include "structures/trap.hpp"
+
+namespace pp {
+namespace {
+
+bool all_traps_tidy(const RingOfTrapsProtocol& p) {
+  for (u64 a = 0; a < p.layout().num_traps(); ++a) {
+    if (!trap::is_tidy(p.layout().trap_counts(p.counts(), a))) return false;
+  }
+  return true;
+}
+
+TEST(PaperLemmas, Lemma2TidyOnceTidyForever) {
+  for (const u64 seed : {1u, 2u, 3u, 4u, 5u}) {
+    RingOfTrapsProtocol p(56);  // m = 7
+    Rng rng(seed);
+    p.reset(initial::uniform_random(p, rng));
+    bool was_tidy = all_traps_tidy(p);
+    u64 tidy_from_step = 0, steps = 0;
+    RunOptions opt;
+    opt.on_change = [&](const Protocol&, u64) {
+      ++steps;
+      const bool tidy = all_traps_tidy(p);
+      if (was_tidy) {
+        EXPECT_TRUE(tidy) << "tidiness lost at step " << steps
+                          << " (seed " << seed << ")";
+      }
+      if (tidy && !was_tidy) tidy_from_step = steps;
+      was_tidy = tidy;
+      return true;
+    };
+    const RunResult r = run_accelerated(p, rng, opt);
+    EXPECT_TRUE(r.valid);
+    EXPECT_TRUE(all_traps_tidy(p)) << "final configuration must be tidy";
+  }
+}
+
+TEST(PaperLemmas, Fact2GapCountNonIncreasingPerTrap) {
+  RingOfTrapsProtocol p(72);  // m = 8
+  Rng rng(7);
+  p.reset(initial::uniform_random(p, rng));
+  const u64 traps = p.layout().num_traps();
+  std::vector<u64> gaps(traps);
+  for (u64 a = 0; a < traps; ++a) {
+    gaps[a] = trap::gaps(p.layout().trap_counts(p.counts(), a));
+  }
+  RunOptions opt;
+  opt.on_change = [&](const Protocol&, u64) {
+    for (u64 a = 0; a < traps; ++a) {
+      const u64 g = trap::gaps(p.layout().trap_counts(p.counts(), a));
+      EXPECT_LE(g, gaps[a]) << "gaps reopened in trap " << a;
+      gaps[a] = g;
+    }
+    return true;
+  };
+  EXPECT_TRUE(run_accelerated(p, rng, opt).valid);
+}
+
+TEST(PaperLemmas, SurplusBoundedByExcessAlongLineTrajectories) {
+  LineOfTrapsProtocol p(72);
+  Rng rng(11);
+  p.reset(initial::uniform_random(p, rng));
+  u64 checks = 0;
+  RunOptions opt;
+  opt.on_change = [&](const Protocol&, u64) {
+    if (++checks % 32 == 0) {
+      const u64 s = p.global_surplus();
+      const u64 r = p.global_excess();
+      EXPECT_LE(s, r) << "s(C) <= r(C) violated";
+    }
+    return true;
+  };
+  const RunResult res = run_accelerated(p, rng, opt);
+  EXPECT_TRUE(res.valid);
+  EXPECT_EQ(p.global_surplus(), 0u);
+  EXPECT_EQ(p.global_excess(), 0u);
+  EXPECT_EQ(p.global_deficit(), 0u);
+}
+
+TEST(PaperLemmas, SilenceExactlyWhenAllLineMeasuresVanish) {
+  LineOfTrapsProtocol p(72);
+  Rng rng(13);
+  for (int trial = 0; trial < 20; ++trial) {
+    p.reset(initial::uniform_random(p, rng));
+    const bool measures_zero =
+        p.global_excess() == 0 && p.global_deficit() == 0;
+    EXPECT_EQ(p.is_silent(), measures_zero);
+  }
+  // And the genuinely silent configuration:
+  p.reset(initial::valid_ranking(p));
+  EXPECT_TRUE(p.is_silent());
+  EXPECT_EQ(p.global_excess(), 0u);
+}
+
+TEST(PaperLemmas, Lemma1TrapWithSurplusReleasesAgents) {
+  // An isolated trap whose gate ejects every other agent (the 1-trap
+  // single-line protocol: exits are absorbed by X).  Lemma 1: with
+  // surplus l > 0 it releases at least floor((l+1)/2) agents in time
+  // O(mn) whp, and at least l in O(mn log l).  We assert the release
+  // counts under a generous time budget.
+  const u64 m = 8;  // inner states
+  for (const u64 l : {1u, 3u, 7u}) {
+    const u64 agents = (m + 1) + l;  // full trap + surplus l
+    SingleLineProtocol p(agents, /*traps=*/1, /*inner=*/m);
+    Configuration c;
+    c.counts.assign(p.num_states(), 0);
+    for (u64 b = 0; b <= m; ++b) c.counts[p.gate(0) + b] = 1;  // full
+    c.counts[p.top(0)] += l;  // surplus piled on the top inner state
+    p.reset(c);
+
+    Rng rng(100 + l);
+    // Budget: 50 * m * agents parallel time, far above the whp bound.
+    RunOptions opt;
+    opt.max_interactions = 50 * m * agents * agents;
+    const RunResult r = run_accelerated(p, rng, opt);
+    EXPECT_TRUE(r.silent) << "l=" << l;
+    // The trap keeps exactly m+1 agents (Fact 3: full stays full) and
+    // releases the entire surplus before silence.
+    EXPECT_EQ(p.released(), l) << "l=" << l;
+  }
+}
+
+TEST(PaperLemmas, Fact3FullTrapKeepsCapacityExactly) {
+  // After a full trap with surplus stabilises, each of its m+1 states
+  // holds exactly one agent (fully stabilised, §2.1).
+  const u64 m = 5, l = 4;
+  SingleLineProtocol p((m + 1) + l, 1, m);
+  Configuration c;
+  c.counts.assign(p.num_states(), 0);
+  c.counts[p.gate(0)] = 1 + l;
+  for (u64 b = 1; b <= m; ++b) c.counts[p.gate(0) + b] = 1;
+  p.reset(c);
+  Rng rng(7);
+  const RunResult r = run_accelerated(p, rng);
+  ASSERT_TRUE(r.silent);
+  for (u64 b = 0; b <= m; ++b) {
+    EXPECT_EQ(p.counts()[p.gate(0) + b], 1u) << "state " << b;
+  }
+  EXPECT_EQ(p.released(), l);
+}
+
+TEST(PaperLemmas, Corollary1ChernoffTokenDistribution) {
+  // Section 7: S tokens thrown uniformly at M lines; with mu = S/M and
+  // eta = 2, every line receives at most (1+2eta)mu tokens when mu > ln n,
+  // and at most mu + 2eta ln n when mu <= ln n, whp.  We check empirically
+  // over many trials and allow zero violations (n here plays the role of
+  // the "whp scale"; we use n = S).
+  Rng rng(17);
+  const double eta = 2.0;
+  struct Case {
+    u64 tokens, lines;
+  };
+  for (const Case c : {Case{4096, 64}, Case{4096, 1024}, Case{512, 512}}) {
+    const double mu =
+        static_cast<double>(c.tokens) / static_cast<double>(c.lines);
+    const double ln_n = std::log(static_cast<double>(c.tokens));
+    const double bound =
+        mu > ln_n ? (1.0 + 2.0 * eta) * mu : mu + 2.0 * eta * ln_n;
+    u64 violations = 0;
+    for (int trial = 0; trial < 200; ++trial) {
+      std::vector<u64> load(c.lines, 0);
+      for (u64 t = 0; t < c.tokens; ++t) ++load[rng.below(c.lines)];
+      const u64 max_load = *std::max_element(load.begin(), load.end());
+      if (static_cast<double>(max_load) > bound) ++violations;
+    }
+    EXPECT_EQ(violations, 0u)
+        << "S=" << c.tokens << " M=" << c.lines << " bound=" << bound;
+  }
+}
+
+}  // namespace
+}  // namespace pp

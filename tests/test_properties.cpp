@@ -1,0 +1,157 @@
+// Parameterized property sweeps: every protocol, from every starting
+// family, at several sizes and seeds, must (a) conserve the population,
+// (b) reach silence, (c) end in a valid ranking, and (d) agree that
+// silence <=> valid ranking throughout.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "core/engine.hpp"
+#include "core/initial.hpp"
+#include "protocols/factory.hpp"
+#include "rng/seed_sequence.hpp"
+
+namespace pp {
+namespace {
+
+enum class Start {
+  kUniformAll,
+  kUniformRanks,
+  kOneDistant,
+  kQuarterDistant,
+  kAllInFirst,
+  kAllInLast,
+};
+
+const char* start_name(Start s) {
+  switch (s) {
+    case Start::kUniformAll: return "uniform-all";
+    case Start::kUniformRanks: return "uniform-ranks";
+    case Start::kOneDistant: return "one-distant";
+    case Start::kQuarterDistant: return "quarter-distant";
+    case Start::kAllInFirst: return "all-in-first";
+    case Start::kAllInLast: return "all-in-last";
+  }
+  return "?";
+}
+
+Configuration make_start(const Protocol& p, Start s, Rng& rng) {
+  switch (s) {
+    case Start::kUniformAll: return initial::uniform_random(p, rng);
+    case Start::kUniformRanks: return initial::uniform_random_ranks(p, rng);
+    case Start::kOneDistant: return initial::k_distant(p, 1, rng);
+    case Start::kQuarterDistant:
+      return initial::k_distant(p, p.num_ranks() / 4, rng);
+    case Start::kAllInFirst: return initial::all_in_state(p, 0);
+    case Start::kAllInLast:
+      return initial::all_in_state(
+          p, static_cast<StateId>(p.num_states() - 1));
+  }
+  return initial::uniform_random(p, rng);
+}
+
+using Param = std::tuple<std::string, u64, Start, u64>;  // name, n, start, seed
+
+class SelfStabilisation : public ::testing::TestWithParam<Param> {};
+
+TEST_P(SelfStabilisation, ReachesValidSilentRanking) {
+  const auto& [name, n_hint, start, seed] = GetParam();
+  const u64 n = preferred_population(name, n_hint);
+  ProtocolPtr p = make_protocol(name, n);
+  Rng rng(derive_seed(seed, name));
+  p->reset(make_start(*p, start, rng));
+
+  // Population conservation checked along the way (subsampled).
+  u64 checks = 0;
+  RunOptions opt;
+  opt.on_change = [&](const Protocol& prot, u64) {
+    if (++checks % 64 == 0) {
+      u64 total = 0;
+      for (const u64 c : prot.counts()) total += c;
+      EXPECT_EQ(total, prot.num_agents()) << "population leaked";
+      EXPECT_EQ(prot.is_silent(), prot.is_valid_ranking());
+    }
+    return true;
+  };
+  const RunResult r = run_accelerated(*p, rng, opt);
+
+  EXPECT_TRUE(r.silent) << name << " " << start_name(start);
+  EXPECT_TRUE(r.valid) << name << " " << start_name(start);
+  EXPECT_TRUE(p->is_valid_ranking());
+  EXPECT_TRUE(is_valid_ranking(p->configuration(), p->num_ranks()));
+  u64 total = 0;
+  for (const u64 c : p->counts()) total += c;
+  EXPECT_EQ(total, p->num_agents());
+}
+
+std::string param_label(const ::testing::TestParamInfo<Param>& info) {
+  const auto& [name, n, start, seed] = info.param;
+  std::string label = name + "_n" + std::to_string(n) + "_" +
+                      start_name(start) + "_s" + std::to_string(seed);
+  for (char& c : label) {
+    if (c == '-') c = '_';
+  }
+  return label;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProtocolsAllStarts, SelfStabilisation,
+    ::testing::Combine(
+        ::testing::Values(std::string("ag"), std::string("ring-of-traps"),
+                          std::string("line-of-traps"),
+                          std::string("tree-ranking")),
+        ::testing::Values<u64>(72),
+        ::testing::Values(Start::kUniformAll, Start::kUniformRanks,
+                          Start::kOneDistant, Start::kQuarterDistant,
+                          Start::kAllInFirst, Start::kAllInLast),
+        ::testing::Values<u64>(1, 2, 3)),
+    param_label);
+
+// A second sweep at a larger size, fewer seeds, random starts only.
+INSTANTIATE_TEST_SUITE_P(
+    LargerPopulations, SelfStabilisation,
+    ::testing::Combine(
+        ::testing::Values(std::string("ag"), std::string("ring-of-traps"),
+                          std::string("line-of-traps"),
+                          std::string("tree-ranking")),
+        ::testing::Values<u64>(240),
+        ::testing::Values(Start::kUniformAll, Start::kOneDistant),
+        ::testing::Values<u64>(7)),
+    param_label);
+
+// Degenerate / tiny populations: protocols must handle the smallest sizes
+// their layouts admit.
+class TinyPopulations : public ::testing::TestWithParam<
+                            std::tuple<std::string, u64>> {};
+
+TEST_P(TinyPopulations, Stabilises) {
+  const auto& [name, n_raw] = GetParam();
+  const u64 n = std::max<u64>(n_raw, min_population(name));
+  ProtocolPtr p = make_protocol(name, n);
+  Rng rng(derive_seed(99, name, n));
+  p->reset(initial::uniform_random(*p, rng));
+  EXPECT_TRUE(run_accelerated(*p, rng).valid) << name << " n=" << n;
+}
+
+std::string tiny_label(
+    const ::testing::TestParamInfo<std::tuple<std::string, u64>>& info) {
+  std::string label = std::get<0>(info.param) + "_n" +
+                      std::to_string(std::get<1>(info.param));
+  for (char& c : label) {
+    if (c == '-') c = '_';
+  }
+  return label;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Tiny, TinyPopulations,
+    ::testing::Combine(::testing::Values(std::string("ag"),
+                                         std::string("ring-of-traps"),
+                                         std::string("line-of-traps"),
+                                         std::string("tree-ranking")),
+                       ::testing::Values<u64>(2, 3, 4, 5, 8, 13)),
+    tiny_label);
+
+}  // namespace
+}  // namespace pp

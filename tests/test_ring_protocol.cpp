@@ -1,0 +1,167 @@
+// Tests of the ring-of-traps protocol (§3): rule semantics, Facts 1/3
+// monotonicity, Lemma 3's non-increasing weight, and stabilisation from
+// k-distant and arbitrary starts.
+#include "protocols/ring_of_traps.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+#include "core/initial.hpp"
+#include "structures/trap.hpp"
+
+namespace pp {
+namespace {
+
+TEST(Ring, Dimensions) {
+  RingOfTrapsProtocol p(12);  // m = 3
+  EXPECT_EQ(p.num_agents(), 12u);
+  EXPECT_EQ(p.num_extra_states(), 0u);
+  EXPECT_EQ(p.layout().num_traps(), 3u);
+}
+
+TEST(Ring, ValidRankingIsSilent) {
+  RingOfTrapsProtocol p(20);
+  p.reset(initial::valid_ranking(p));
+  EXPECT_TRUE(p.is_silent());
+  EXPECT_TRUE(p.is_valid_ranking());
+  EXPECT_EQ(p.lemma3_weight(), 0u);
+}
+
+TEST(Ring, InnerRuleDescends) {
+  RingOfTrapsProtocol p(12);
+  // Two agents on inner state (trap 0, b=2) = state 2; rest ranked, with
+  // states 2's extra agent taken from state 1.
+  Configuration c = initial::valid_ranking(p);
+  c.counts[2] = 2;
+  c.counts[1] = 0;
+  p.reset(c);
+  Rng rng(1);
+  p.step_productive(rng);
+  EXPECT_EQ(p.counts()[2], 1u);
+  EXPECT_EQ(p.counts()[1], 1u) << "responder descended to b=1";
+  EXPECT_TRUE(p.is_valid_ranking());
+}
+
+TEST(Ring, GateRuleSplitsToTopAndNextGate) {
+  RingOfTrapsProtocol p(12);  // traps of size 4: gates 0, 4, 8
+  Configuration c = initial::valid_ranking(p);
+  c.counts[0] = 3;  // two extra agents at gate 0
+  c.counts[3] = 0;
+  c.counts[4] = 0;  // vacate top of trap 0? no: state 3 is top of trap 0
+  p.reset(c);
+  Rng rng(2);
+  p.step_productive(rng);
+  // Gate rule: two agents leave gate 0; one to top(0) = 3, one to gate(1)=4.
+  EXPECT_EQ(p.counts()[0], 1u);
+  EXPECT_EQ(p.counts()[3], 1u);
+  EXPECT_EQ(p.counts()[4], 1u);
+  EXPECT_TRUE(p.is_valid_ranking());
+}
+
+TEST(Ring, Fact1GapsNeverReopen) {
+  // Once an inner state is occupied it stays occupied.
+  RingOfTrapsProtocol p(20);
+  Rng rng(3);
+  p.reset(initial::uniform_random(p, rng));
+  std::vector<bool> occupied(20, false);
+  auto snapshot = [&] {
+    for (StateId s = 0; s < 20; ++s) {
+      const bool inner = p.layout().local_of(s) != 0;
+      if (inner && p.counts()[s] > 0) occupied[s] = true;
+    }
+  };
+  snapshot();
+  RunOptions opt;
+  opt.on_change = [&](const Protocol& prot, u64) {
+    for (StateId s = 0; s < 20; ++s) {
+      if (occupied[s] && p.layout().local_of(s) != 0) {
+        EXPECT_GT(prot.counts()[s], 0u) << "gap reopened at " << s;
+      }
+    }
+    snapshot();
+    return true;
+  };
+  run_accelerated(p, rng, opt);
+}
+
+TEST(Ring, Fact3FullTrapsStayFull) {
+  RingOfTrapsProtocol p(30);  // m = 5, traps of size 6
+  Rng rng(4);
+  p.reset(initial::uniform_random(p, rng));
+  const auto& layout = p.layout();
+  std::vector<bool> was_full(layout.num_traps(), false);
+  RunOptions opt;
+  opt.on_change = [&](const Protocol& prot, u64) {
+    for (u64 a = 0; a < layout.num_traps(); ++a) {
+      const bool full = trap::is_full(layout.trap_counts(prot.counts(), a));
+      if (was_full[a]) {
+        EXPECT_TRUE(full) << "trap " << a << " lost fullness";
+      }
+      was_full[a] = was_full[a] || full;
+    }
+    return true;
+  };
+  run_accelerated(p, rng, opt);
+}
+
+TEST(Ring, Lemma3WeightNeverIncreases) {
+  for (const u64 seed : {1u, 2u, 3u, 4u}) {
+    RingOfTrapsProtocol p(30);
+    Rng rng(seed);
+    p.reset(initial::uniform_random(p, rng));
+    u64 last = p.lemma3_weight();
+    RunOptions opt;
+    opt.on_change = [&](const Protocol&, u64) {
+      const u64 now = p.lemma3_weight();
+      EXPECT_LE(now, last) << "Lemma 3 weight increased";
+      last = now;
+      return true;
+    };
+    run_accelerated(p, rng, opt);
+    EXPECT_EQ(p.lemma3_weight(), 0u);
+  }
+}
+
+TEST(Ring, StabilisesFromKDistant) {
+  for (const u64 k : {0u, 1u, 2u, 5u}) {
+    RingOfTrapsProtocol p(42);  // m = 6
+    Rng rng(10 + k);
+    p.reset(initial::k_distant(p, k, rng));
+    const RunResult r = run_accelerated(p, rng);
+    EXPECT_TRUE(r.silent);
+    EXPECT_TRUE(r.valid);
+    if (k == 0) {
+      EXPECT_EQ(r.interactions, 0u);
+    }
+  }
+}
+
+TEST(Ring, StabilisesFromAdversarialStarts) {
+  RingOfTrapsProtocol p(30);
+  Rng rng(20);
+  // All agents on one gate.
+  p.reset(initial::all_in_state(p, p.layout().gate(2)));
+  EXPECT_TRUE(run_accelerated(p, rng).valid);
+  // All agents on one inner state.
+  p.reset(initial::all_in_state(p, p.layout().top(0)));
+  EXPECT_TRUE(run_accelerated(p, rng).valid);
+}
+
+TEST(Ring, StabilisesOnNonCanonicalSizes) {
+  for (const u64 n : {7u, 13u, 29u, 50u}) {
+    RingOfTrapsProtocol p(n);
+    Rng rng(n);
+    p.reset(initial::uniform_random(p, rng));
+    const RunResult r = run_accelerated(p, rng);
+    EXPECT_TRUE(r.valid) << "n=" << n;
+  }
+}
+
+TEST(Ring, DescribeStateMentionsGates) {
+  RingOfTrapsProtocol p(12);
+  EXPECT_NE(p.describe_state(0).find("gate"), std::string::npos);
+  EXPECT_EQ(p.describe_state(1).find("gate"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pp

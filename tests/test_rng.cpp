@@ -1,0 +1,227 @@
+// Unit tests for the RNG stack: determinism, uniformity, geometric
+// skipping, pair sampling, distinct sampling.
+#include "rng/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "rng/seed_sequence.hpp"
+#include "rng/splitmix64.hpp"
+
+namespace pp {
+namespace {
+
+TEST(SplitMix64, KnownSequenceIsDeterministic) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiffer) {
+  EXPECT_NE(SplitMix64(1).next(), SplitMix64(2).next());
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.bits(), b.bits());
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(1);
+  for (const u64 bound : {1u, 2u, 3u, 10u, 1000u}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowOneIsAlwaysZero) {
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BelowIsApproximatelyUniform) {
+  Rng rng(5);
+  const u64 kBuckets = 10;
+  const int kDraws = 200000;
+  std::vector<int> hits(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) ++hits[rng.below(kBuckets)];
+  for (const int h : hits) {
+    EXPECT_NEAR(static_cast<double>(h) / kDraws, 0.1, 0.01);
+  }
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(2);
+  std::set<u64> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const u64 v = rng.range(5, 8);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 8u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 4u);  // all of 5..8 hit in 1000 draws
+}
+
+TEST(Rng, Real01InHalfOpenInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.real01();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, Real01OpenLeftNeverZero) {
+  Rng rng(4);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.real01_open_left();
+    EXPECT_GT(x, 0.0);
+    EXPECT_LE(x, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(6);
+  EXPECT_FALSE(rng.bernoulli(0.0));
+  EXPECT_TRUE(rng.bernoulli(1.0));
+  EXPECT_FALSE(rng.bernoulli(-0.5));
+  EXPECT_TRUE(rng.bernoulli(1.5));
+}
+
+TEST(Rng, GeometricFailuresEdgeCases) {
+  Rng rng(8);
+  EXPECT_EQ(rng.geometric_failures(1.0), 0u);
+  EXPECT_EQ(rng.geometric_failures(0.0), Rng::kGeometricInfinity);
+  EXPECT_EQ(rng.geometric_failures(2.0), 0u);
+}
+
+TEST(Rng, GeometricFailuresMeanMatchesTheory) {
+  // E[failures] = (1-p)/p.
+  Rng rng(11);
+  for (const double p : {0.5, 0.1, 0.01}) {
+    const int kDraws = 100000;
+    double sum = 0;
+    for (int i = 0; i < kDraws; ++i) {
+      sum += static_cast<double>(rng.geometric_failures(p));
+    }
+    const double expect = (1.0 - p) / p;
+    const double got = sum / kDraws;
+    EXPECT_NEAR(got, expect, expect * 0.05 + 0.02) << "p=" << p;
+  }
+}
+
+TEST(Rng, GeometricFailuresTinyProbabilityHasFiniteHugeMean) {
+  Rng rng(12);
+  const double p = 1e-9;
+  double sum = 0;
+  const int kDraws = 200;
+  for (int i = 0; i < kDraws; ++i) {
+    const u64 f = rng.geometric_failures(p);
+    ASSERT_NE(f, Rng::kGeometricInfinity);
+    sum += static_cast<double>(f);
+  }
+  const double mean = sum / kDraws;
+  EXPECT_GT(mean, 1e8);  // should be around 1e9
+  EXPECT_LT(mean, 1e10);
+}
+
+TEST(Rng, OrderedPairDistinct) {
+  Rng rng(13);
+  for (int i = 0; i < 10000; ++i) {
+    const auto [a, b] = rng.ordered_pair(5);
+    EXPECT_NE(a, b);
+    EXPECT_LT(a, 5u);
+    EXPECT_LT(b, 5u);
+  }
+}
+
+TEST(Rng, OrderedPairCoversAllPairsUniformly) {
+  Rng rng(14);
+  const u64 n = 4;
+  std::vector<int> hits(n * n, 0);
+  const int kDraws = 120000;
+  for (int i = 0; i < kDraws; ++i) {
+    const auto [a, b] = rng.ordered_pair(n);
+    ++hits[a * n + b];
+  }
+  const double expect = static_cast<double>(kDraws) / (n * (n - 1));
+  for (u64 a = 0; a < n; ++a) {
+    for (u64 b = 0; b < n; ++b) {
+      if (a == b) {
+        EXPECT_EQ(hits[a * n + b], 0);
+      } else {
+        EXPECT_NEAR(hits[a * n + b], expect, expect * 0.1);
+      }
+    }
+  }
+}
+
+TEST(Rng, SampleDistinctProducesDistinctValues) {
+  Rng rng(15);
+  for (const u64 k : {0u, 1u, 3u, 10u, 50u, 100u}) {
+    const auto v = rng.sample_distinct(100, k);
+    EXPECT_EQ(v.size(), k);
+    std::set<u64> s(v.begin(), v.end());
+    EXPECT_EQ(s.size(), k);
+    for (const u64 x : v) EXPECT_LT(x, 100u);
+  }
+}
+
+TEST(Rng, SampleDistinctFullRangeIsPermutation) {
+  Rng rng(16);
+  auto v = rng.sample_distinct(10, 10);
+  std::sort(v.begin(), v.end());
+  for (u64 i = 0; i < 10; ++i) EXPECT_EQ(v[i], i);
+}
+
+TEST(Rng, SampleDistinctIsUniformish) {
+  Rng rng(17);
+  std::vector<int> hits(20, 0);
+  const int kDraws = 40000;
+  for (int i = 0; i < kDraws; ++i) {
+    for (const u64 x : rng.sample_distinct(20, 3)) ++hits[x];
+  }
+  const double expect = kDraws * 3.0 / 20.0;
+  for (const int h : hits) EXPECT_NEAR(h, expect, expect * 0.1);
+}
+
+TEST(Rng, ShufflePreservesMultiset) {
+  Rng rng(18);
+  std::vector<int> v{1, 2, 2, 3, 4, 5, 5, 5};
+  auto sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(19);
+  Rng b = a.split();
+  // The two streams should disagree quickly.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.bits() == b.bits()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(SeedSequence, DistinctLabelsAndIndices) {
+  const u64 root = 99;
+  std::set<u64> seeds;
+  for (const char* label : {"a", "b", "experiment-1"}) {
+    for (u64 i = 0; i < 10; ++i) seeds.insert(derive_seed(root, label, i));
+  }
+  EXPECT_EQ(seeds.size(), 30u);
+}
+
+TEST(SeedSequence, DeterministicDerivation) {
+  EXPECT_EQ(derive_seed(1, "x", 2), derive_seed(1, "x", 2));
+  EXPECT_NE(derive_seed(1, "x", 2), derive_seed(2, "x", 2));
+}
+
+}  // namespace
+}  // namespace pp

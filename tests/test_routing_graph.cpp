@@ -1,0 +1,88 @@
+// Tests of the cubic routing graph G (§4.2, Figure 1): vertex count,
+// cubicity, symmetry, connectivity, and the O(log m) diameter bound.
+#include "structures/routing_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+namespace pp {
+namespace {
+
+TEST(RoutingGraph, HasMSquaredVertices) {
+  for (const u64 m : {2u, 4u, 6u, 8u, 10u}) {
+    RoutingGraph g(m);
+    EXPECT_EQ(g.num_vertices(), m * m);
+  }
+}
+
+TEST(RoutingGraph, EveryVertexHasThreeNeighbourSlots) {
+  RoutingGraph g(6);
+  for (u32 v = 0; v < g.num_vertices(); ++v) {
+    for (u32 i = 0; i < 3; ++i) {
+      EXPECT_LT(g.neighbour(v, i), g.num_vertices());
+      EXPECT_NE(g.neighbour(v, i), v) << "self-loop at " << v;
+    }
+  }
+}
+
+TEST(RoutingGraph, EdgeSlotsAreSymmetric) {
+  // Counting multiplicity, (u,v) appears in u's slots exactly as often as
+  // (v,u) appears in v's slots — the multigraph is undirected.
+  for (const u64 m : {2u, 4u, 8u}) {
+    RoutingGraph g(m);
+    std::map<std::pair<u32, u32>, int> slots;
+    for (u32 v = 0; v < g.num_vertices(); ++v) {
+      for (const u32 w : g.neighbours(v)) ++slots[{v, w}];
+    }
+    for (const auto& [edge, cnt] : slots) {
+      const auto reversed = std::make_pair(edge.second, edge.first);
+      EXPECT_EQ(cnt, slots[reversed])
+          << "m=" << m << " edge " << edge.first << "-" << edge.second;
+    }
+  }
+}
+
+TEST(RoutingGraph, Connected) {
+  for (const u64 m : {2u, 4u, 6u, 10u, 16u}) {
+    EXPECT_TRUE(RoutingGraph(m).connected()) << "m=" << m;
+  }
+}
+
+TEST(RoutingGraph, DiameterIsLogarithmic) {
+  // Paper: diameter 4 ceil(log m).  Allow a +2 slack for the merge/cycle
+  // details of the concrete construction.
+  for (const u64 m : {2u, 4u, 6u, 8u, 12u, 16u, 20u}) {
+    RoutingGraph g(m);
+    const double bound =
+        4.0 * std::ceil(std::log2(static_cast<double>(m))) + 2.0;
+    EXPECT_LE(g.diameter(), bound) << "m=" << m;
+  }
+}
+
+TEST(RoutingGraph, Figure1SizeExample) {
+  // Figure 1 uses m^2 = 16 vertices (m = 4).
+  RoutingGraph g(4);
+  EXPECT_EQ(g.num_vertices(), 16u);
+  EXPECT_TRUE(g.connected());
+  EXPECT_LE(g.diameter(), 4u * 2u);  // 4 ceil(log2 4) = 8
+}
+
+TEST(RoutingGraph, TotalEdgeSlotsEqual3V) {
+  RoutingGraph g(8);
+  u64 slots = 0;
+  for (u32 v = 0; v < g.num_vertices(); ++v) slots += g.neighbours(v).size();
+  EXPECT_EQ(slots, 3 * g.num_vertices());
+}
+
+TEST(RoutingGraph, ToStringListsEveryVertex) {
+  RoutingGraph g(2);
+  const std::string s = g.to_string();
+  for (u32 v = 0; v < 4; ++v) {
+    EXPECT_NE(s.find(std::to_string(v) + ":"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace pp

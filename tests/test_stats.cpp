@@ -1,0 +1,107 @@
+// Unit tests for summary statistics and power-law fitting.
+#include "analysis/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "analysis/fit.hpp"
+
+namespace pp {
+namespace {
+
+TEST(Stats, SingleSample) {
+  const std::vector<double> v{3.5};
+  const Summary s = summarize(v);
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.5);
+  EXPECT_DOUBLE_EQ(s.median, 3.5);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.min, 3.5);
+  EXPECT_DOUBLE_EQ(s.max, 3.5);
+}
+
+TEST(Stats, KnownSummary) {
+  const std::vector<double> v{1, 2, 3, 4, 5};
+  const Summary s = summarize(v);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.5), 1e-12);
+}
+
+TEST(Stats, SummarizeUnsortedInput) {
+  const std::vector<double> v{5, 1, 4, 2, 3};
+  const Summary s = summarize(v);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+}
+
+TEST(Stats, QuantileInterpolation) {
+  const std::vector<double> v{0, 10};
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 1.0), 10.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 0.25), 2.5);
+}
+
+TEST(Stats, Ci95ShrinksWithSamples) {
+  std::vector<double> small{1, 2, 3, 4};
+  std::vector<double> big;
+  for (int rep = 0; rep < 25; ++rep) {
+    big.insert(big.end(), small.begin(), small.end());
+  }
+  EXPECT_GT(summarize(small).ci95_halfwidth(),
+            summarize(big).ci95_halfwidth());
+}
+
+TEST(Fit, ExactLine) {
+  const std::vector<double> x{1, 2, 3, 4};
+  const std::vector<double> y{3, 5, 7, 9};  // y = 2x + 1
+  const LinearFit f = fit_linear(x, y);
+  EXPECT_NEAR(f.slope, 2.0, 1e-12);
+  EXPECT_NEAR(f.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(f.r2, 1.0, 1e-12);
+}
+
+TEST(Fit, NoisyLineStillCloseAndR2Below1) {
+  std::vector<double> x, y;
+  for (int i = 1; i <= 20; ++i) {
+    x.push_back(i);
+    y.push_back(3.0 * i - 2.0 + ((i % 2 == 0) ? 0.5 : -0.5));
+  }
+  const LinearFit f = fit_linear(x, y);
+  EXPECT_NEAR(f.slope, 3.0, 0.05);
+  EXPECT_LT(f.r2, 1.0);
+  EXPECT_GT(f.r2, 0.99);
+}
+
+TEST(Fit, PowerLawRecoversExponent) {
+  std::vector<double> x, y;
+  for (const double n : {16.0, 32.0, 64.0, 128.0, 256.0}) {
+    x.push_back(n);
+    y.push_back(0.7 * std::pow(n, 1.75));
+  }
+  const PowerFit f = fit_power(x, y);
+  EXPECT_NEAR(f.exponent, 1.75, 1e-9);
+  EXPECT_NEAR(f.prefactor, 0.7, 1e-9);
+  EXPECT_NEAR(f.r2, 1.0, 1e-12);
+}
+
+TEST(Fit, PowerLawWithLogFactorBiasesExponentUp) {
+  // y = n^2 log2(n): the fitted pure-power exponent over a dyadic range
+  // should land a bit above 2 — the benches rely on this interpretation.
+  std::vector<double> x, y;
+  for (double n = 64; n <= 4096; n *= 2) {
+    x.push_back(n);
+    y.push_back(n * n * std::log2(n));
+  }
+  const PowerFit f = fit_power(x, y);
+  EXPECT_GT(f.exponent, 2.0);
+  EXPECT_LT(f.exponent, 2.4);
+}
+
+}  // namespace
+}  // namespace pp

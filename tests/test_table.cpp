@@ -1,0 +1,61 @@
+// Unit tests for the ASCII/CSV table writer.
+#include "analysis/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+namespace pp {
+namespace {
+
+TEST(Table, RendersHeadersAndRows) {
+  Table t("demo");
+  t.headers({"n", "time"});
+  t.row().cell(static_cast<u64>(64)).cell(12.5);
+  t.row().cell(static_cast<u64>(128)).cell(50.0);
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("demo"), std::string::npos);
+  EXPECT_NE(s.find("n"), std::string::npos);
+  EXPECT_NE(s.find("12.5"), std::string::npos);
+  EXPECT_NE(s.find("128"), std::string::npos);
+}
+
+TEST(Table, CsvHasOneLinePerRowPlusHeader) {
+  Table t("x");
+  t.headers({"a", "b"});
+  t.row().cell(static_cast<u64>(1)).cell(static_cast<u64>(2));
+  t.row().cell(static_cast<u64>(3)).cell(static_cast<u64>(4));
+  const std::string csv = t.to_csv();
+  EXPECT_EQ(csv, "a,b\n1,2\n3,4\n");
+}
+
+TEST(Table, DoublePrecisionControl) {
+  Table t("p");
+  t.headers({"v"});
+  t.row().cell(3.14159265, 3);
+  EXPECT_NE(t.to_csv().find("3.14"), std::string::npos);
+}
+
+TEST(Table, PrintWritesCsvFile) {
+  Table t("csv smoke test");
+  t.headers({"a"});
+  t.row().cell(static_cast<u64>(42));
+  const std::string dir = ::testing::TempDir();
+  t.print(dir);
+  std::ifstream f(dir + "/csv-smoke-test.csv");
+  ASSERT_TRUE(f.good());
+  std::string header, row;
+  std::getline(f, header);
+  std::getline(f, row);
+  EXPECT_EQ(header, "a");
+  EXPECT_EQ(row, "42");
+}
+
+TEST(Slugify, Basic) {
+  EXPECT_EQ(slugify("Hello World"), "hello-world");
+  EXPECT_EQ(slugify("E1: AG scaling (n^2)"), "e1-ag-scaling-n-2");
+  EXPECT_EQ(slugify("---"), "");
+}
+
+}  // namespace
+}  // namespace pp

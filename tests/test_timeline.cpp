@@ -1,0 +1,93 @@
+// Tests for the convergence-timeline observer.
+#include "analysis/timeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/initial.hpp"
+#include "protocols/factory.hpp"
+
+namespace pp {
+namespace {
+
+TEST(Timeline, SamplesAreGeometricallySpacedAndFinal) {
+  ProtocolPtr p = make_protocol("ag", 64);
+  Rng rng(1);
+  p->reset(initial::all_in_state(*p, 0));
+  Timeline tl(1.0, 2.0);
+  RunOptions opt;
+  opt.on_change = tl.observer();
+  const RunResult r = run_accelerated(*p, rng, opt);
+  tl.finish(*p, r);
+
+  ASSERT_GE(tl.samples().size(), 3u);
+  for (u64 i = 1; i < tl.samples().size(); ++i) {
+    EXPECT_GE(tl.samples()[i].time, tl.samples()[i - 1].time);
+  }
+  const auto& last = tl.samples().back();
+  EXPECT_DOUBLE_EQ(last.time, r.parallel_time);
+  EXPECT_EQ(last.weight, 0u) << "final snapshot is silent";
+  EXPECT_EQ(last.ranks_held, 64u);
+  EXPECT_EQ(last.k_distance, 0u);
+  EXPECT_EQ(last.max_load, 1u);
+}
+
+TEST(Timeline, TracksExtraAgentsForTreeProtocol) {
+  ProtocolPtr p = make_protocol("tree-ranking", 64);
+  Rng rng(2);
+  // Start with everyone on the buffer line -> first samples show extra
+  // agents, final sample shows none.
+  p->reset(initial::all_in_state(*p, static_cast<StateId>(p->num_ranks())));
+  Timeline tl(0.5, 2.0);
+  RunOptions opt;
+  opt.on_change = tl.observer();
+  const RunResult r = run_accelerated(*p, rng, opt);
+  tl.finish(*p, r);
+  EXPECT_TRUE(r.valid);
+  EXPECT_GT(tl.samples().front().extra_agents, 0u);
+  EXPECT_EQ(tl.samples().back().extra_agents, 0u);
+}
+
+TEST(Timeline, RanksHeldPlusKDistanceIsNumRanks) {
+  ProtocolPtr p = make_protocol("ring-of-traps", 56);
+  Rng rng(3);
+  p->reset(initial::uniform_random(*p, rng));
+  Timeline tl;
+  RunOptions opt;
+  opt.on_change = tl.observer();
+  const RunResult r = run_accelerated(*p, rng, opt);
+  tl.finish(*p, r);
+  for (const auto& s : tl.samples()) {
+    EXPECT_EQ(s.ranks_held + s.k_distance, 56u);
+  }
+}
+
+TEST(Timeline, RatioControlsSampleDensity) {
+  auto samples_with_ratio = [](double ratio) {
+    ProtocolPtr p = make_protocol("ag", 48);
+    Rng rng(9);
+    p->reset(initial::all_in_state(*p, 0));
+    Timeline tl(1.0, ratio);
+    RunOptions opt;
+    opt.on_change = tl.observer();
+    tl.finish(*p, run_accelerated(*p, rng, opt));
+    return tl.samples().size();
+  };
+  EXPECT_GT(samples_with_ratio(1.3), samples_with_ratio(4.0));
+}
+
+TEST(Timeline, ToTableHasOneRowPerSample) {
+  ProtocolPtr p = make_protocol("ag", 32);
+  Rng rng(4);
+  p->reset(initial::all_in_state(*p, 0));
+  Timeline tl;
+  RunOptions opt;
+  opt.on_change = tl.observer();
+  tl.finish(*p, run_accelerated(*p, rng, opt));
+  const std::string csv = tl.to_table("x").to_csv();
+  u64 lines = 0;
+  for (const char c : csv) lines += c == '\n' ? 1 : 0;
+  EXPECT_EQ(lines, tl.samples().size() + 1);  // header + rows
+}
+
+}  // namespace
+}  // namespace pp

@@ -1,0 +1,243 @@
+// Tests of the O(log n)-extra-states tree protocol (§5): rules R1-R5,
+// Lemma 19's perfect dispersion, the reset mechanism, and stabilisation.
+#include "protocols/tree_ranking.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+#include "core/initial.hpp"
+
+namespace pp {
+namespace {
+
+TEST(Tree, Dimensions) {
+  TreeRankingProtocol p(100);
+  EXPECT_EQ(p.num_agents(), 100u);
+  EXPECT_EQ(p.num_ranks(), 100u);
+  EXPECT_EQ(p.num_extra_states(), 2 * p.k());
+  EXPECT_GE(p.k(), 2u);
+  // O(log n) extra states.
+  EXPECT_LE(p.num_extra_states(), 64u);
+}
+
+TEST(Tree, ExplicitKIsHonoured) {
+  TreeRankingProtocol p(50, 5);
+  EXPECT_EQ(p.k(), 5u);
+  EXPECT_EQ(p.num_extra_states(), 10u);
+  EXPECT_TRUE(p.is_red(1));
+  EXPECT_TRUE(p.is_red(5));
+  EXPECT_FALSE(p.is_red(6));
+  EXPECT_FALSE(p.is_red(10));
+}
+
+TEST(Tree, ValidRankingIsSilent) {
+  TreeRankingProtocol p(64);
+  p.reset(initial::valid_ranking(p));
+  EXPECT_TRUE(p.is_silent());
+  EXPECT_TRUE(p.is_valid_ranking());
+}
+
+TEST(Tree, R1NonBranchingMovesOneAgentDown) {
+  TreeRankingProtocol p(4, 2);  // size-4 tree: 0 -> 1 -> 2 -> 3 chain? no:
+  // size 4 even: root 0 non-branching, child subtree size 3 at node 1,
+  // which branches to 2 and 3.
+  Configuration c = initial::valid_ranking(p);
+  c.counts[0] = 2;
+  c.counts[3] = 0;
+  p.reset(c);
+  Rng rng(1);
+  p.step_productive(rng);
+  EXPECT_EQ(p.counts()[0], 1u);
+  EXPECT_EQ(p.counts()[1], 2u) << "responder moved to the lone child";
+}
+
+TEST(Tree, R1BranchingSplitsBothAgents) {
+  TreeRankingProtocol p(3, 2);  // root 0 branches to 1 and 2
+  p.reset(initial::all_in_state(p, 0));  // 3 agents at the root
+  Rng rng(2);
+  p.step_productive(rng);
+  EXPECT_EQ(p.counts()[0], 1u);
+  EXPECT_EQ(p.counts()[1], 1u);
+  EXPECT_EQ(p.counts()[2], 1u);
+  EXPECT_TRUE(p.is_valid_ranking());
+}
+
+TEST(Tree, R2LeafOverloadRaisesReset) {
+  TreeRankingProtocol p(3, 2);
+  Configuration c = initial::valid_ranking(p);
+  c.counts[1] = 2;  // leaf 1 doubly occupied
+  c.counts[2] = 0;
+  p.reset(c);
+  Rng rng(3);
+  p.step_productive(rng);
+  EXPECT_EQ(p.counts()[1], 0u);
+  EXPECT_EQ(p.counts()[p.x_state(1)], 2u) << "both agents turned red X_1";
+}
+
+TEST(Tree, R3BufferPairsClimbTheLine) {
+  TreeRankingProtocol p(8, 3);
+  Configuration c;
+  c.counts.assign(p.num_states(), 0);
+  c.counts[p.x_state(2)] = 2;  // two agents in X_2
+  c.counts[0] = 6;             // rest at the root (not interacting with X here)
+  p.reset(c);
+  // Force the buffer-pair interaction via the deterministic cross path.
+  // (X_2, X_2): min = 2 < 2k -> both to X_3.
+  Rng rng(4);
+  bool stepped = false;
+  for (int tries = 0; tries < 1000 && !stepped; ++tries) {
+    TreeRankingProtocol q(8, 3);
+    q.reset(c);
+    Rng r2(static_cast<u64>(tries));
+    q.step_productive(r2);
+    if (q.counts()[q.x_state(3)] == 2) stepped = true;
+  }
+  EXPECT_TRUE(stepped);
+}
+
+TEST(Tree, R5TopOfLineReturnsToRoot) {
+  TreeRankingProtocol p(8, 2);  // 2k = 4
+  Configuration c;
+  c.counts.assign(p.num_states(), 0);
+  c.counts[p.x_state(4)] = 2;  // two agents at X_2k
+  c.counts[5] = 6;             // park the rest on a single rank state
+  p.reset(c);
+  // Keep stepping until the X_2k pair interacts (other productive pairs
+  // exist: rank collisions and (X, rank) pairs).
+  Rng rng(5);
+  for (int steps = 0; steps < 10000; ++steps) {
+    if (p.counts()[p.x_state(4)] == 0) break;
+    if (p.is_silent()) break;
+    p.step_productive(rng);
+  }
+  EXPECT_EQ(p.counts()[p.x_state(4)], 0u) << "X_2k pair eventually fires";
+}
+
+TEST(Tree, R4RedResetsTreeAgent) {
+  TreeRankingProtocol p(6, 2);
+  Configuration c;
+  c.counts.assign(p.num_states(), 0);
+  c.counts[p.x_state(1)] = 1;  // one red agent
+  c.counts[3] = 5;             // five agents on one rank state
+  p.reset(c);
+  Rng rng(6);
+  // First productive step could be a rank collision or the red unload; run
+  // until the red state grows (it must: red + tree -> X_1 + X_1).
+  for (int steps = 0; steps < 10000; ++steps) {
+    if (p.counts()[p.x_state(1)] >= 2) break;
+    PP_ASSERT(!p.is_silent());
+    p.step_productive(rng);
+  }
+  EXPECT_GE(p.counts()[p.x_state(1)], 2u);
+}
+
+TEST(Tree, Lemma19AllAtRootDispersesPerfectlyWithoutReset) {
+  for (const u64 n : {2u, 3u, 9u, 16u, 57u, 128u}) {
+    TreeRankingProtocol p(n);
+    p.reset(initial::all_in_state(p, 0));
+    Rng rng(n);
+    bool buffer_touched = false;
+    RunOptions opt;
+    opt.on_change = [&](const Protocol& prot, u64) {
+      for (u64 i = 1; i <= 2 * p.k(); ++i) {
+        if (prot.counts()[p.x_state(i)] != 0) buffer_touched = true;
+      }
+      return true;
+    };
+    const RunResult r = run_accelerated(p, rng, opt);
+    EXPECT_TRUE(r.valid) << "n=" << n;
+    EXPECT_FALSE(buffer_touched)
+        << "perfect pour from the root must never trigger a reset, n=" << n;
+  }
+}
+
+TEST(Tree, StabilisesFromAllOnALeaf) {
+  TreeRankingProtocol p(33);
+  const StateId leaf = p.tree().leaves().back();
+  p.reset(initial::all_in_state(p, leaf));
+  Rng rng(7);
+  const RunResult r = run_accelerated(p, rng);
+  EXPECT_TRUE(r.silent);
+  EXPECT_TRUE(r.valid);
+}
+
+TEST(Tree, StabilisesFromAllInRedBuffer) {
+  TreeRankingProtocol p(40);
+  p.reset(initial::all_in_state(p, p.x_state(1)));
+  Rng rng(8);
+  EXPECT_TRUE(run_accelerated(p, rng).valid);
+}
+
+TEST(Tree, StabilisesFromAllInGreenBuffer) {
+  TreeRankingProtocol p(40);
+  p.reset(initial::all_in_state(p, p.x_state(2 * p.k())));
+  Rng rng(9);
+  EXPECT_TRUE(run_accelerated(p, rng).valid);
+}
+
+TEST(Tree, StabilisesFromUniformRandomOverAllStates) {
+  for (const u64 seed : {1u, 2u, 3u, 4u, 5u}) {
+    TreeRankingProtocol p(60);
+    Rng rng(seed);
+    p.reset(initial::uniform_random(p, rng));
+    EXPECT_TRUE(run_accelerated(p, rng).valid) << "seed=" << seed;
+  }
+}
+
+// --- the modified protocol (proof of Theorem 3, §5.2) -------------------
+
+TEST(TreeModified, AllBufferStatesActGreen) {
+  TreeRankingProtocol p(9, 3, TreeRankingProtocol::ResetMode::kModified);
+  EXPECT_EQ(p.name(), "tree-ranking-modified");
+  for (u64 i = 1; i <= 6; ++i) EXPECT_FALSE(p.is_red(i));
+  // R4 always re-seeds the root: X_1 + j -> 0 + j.
+  const auto [o1, o2] = p.transition(p.x_state(1), 3);
+  EXPECT_EQ(o1, 0u);
+  EXPECT_EQ(o2, 3u);
+}
+
+TEST(TreeModified, BalancedStartStabilisesLikeStandard) {
+  // From the balanced all-at-root configuration the modified protocol
+  // behaves exactly like the standard one (the reset never fires anyway).
+  TreeRankingProtocol p(57, 0, TreeRankingProtocol::ResetMode::kModified);
+  p.reset(initial::all_in_state(p, 0));
+  Rng rng(41);
+  const RunResult r = run_accelerated(p, rng);
+  EXPECT_TRUE(r.silent);
+  EXPECT_TRUE(r.valid);
+}
+
+TEST(TreeModified, LivelocksWithoutResetFromUnbalancedStart) {
+  // n = 3 (root branching to leaves 1 and 2) started as {0, 2, 1}: the
+  // leaf pair recycles through the buffer and the root re-splits it onto
+  // the occupied leaf, forever.  Without the red reset the protocol can
+  // never silence from here — the paper's reason for the reset mechanism.
+  TreeRankingProtocol p(3, 2, TreeRankingProtocol::ResetMode::kModified);
+  Configuration c;
+  c.counts.assign(p.num_states(), 0);
+  c.counts[1] = 2;
+  c.counts[2] = 1;
+  p.reset(c);
+  Rng rng(42);
+  RunOptions opt;
+  opt.max_interactions = 200000;
+  const RunResult r = run_accelerated(p, rng, opt);
+  EXPECT_FALSE(r.silent) << "modified protocol must livelock here";
+
+  // The standard protocol stabilises from the same start.
+  TreeRankingProtocol std_p(3, 2);
+  std_p.reset(c);
+  const RunResult std_r = run_accelerated(std_p, rng);
+  EXPECT_TRUE(std_r.valid);
+}
+
+TEST(Tree, DescribeStateDistinguishesKinds) {
+  TreeRankingProtocol p(9, 3);
+  EXPECT_NE(p.describe_state(0).find("branching"), std::string::npos);
+  EXPECT_NE(p.describe_state(3).find("leaf"), std::string::npos);
+  EXPECT_NE(p.describe_state(p.x_state(1)).find("red"), std::string::npos);
+  EXPECT_NE(p.describe_state(p.x_state(6)).find("green"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pp

@@ -1,0 +1,95 @@
+// Weight-consistency fuzz across many population sizes: for every
+// protocol, at many sizes and many random configurations, the optimized
+// productive-weight bookkeeping must equal the brute-force count derived
+// from the formal transition function δ.  This is the single strongest
+// guard against bookkeeping drift anywhere in the Fenwick machinery.
+#include <gtest/gtest.h>
+
+#include "core/agent_simulator.hpp"
+#include "core/initial.hpp"
+#include "protocols/factory.hpp"
+#include "protocols/line_of_traps.hpp"
+#include "protocols/tree_ranking.hpp"
+#include "rng/seed_sequence.hpp"
+
+namespace pp {
+namespace {
+
+class WeightFuzz
+    : public ::testing::TestWithParam<std::tuple<std::string, u64>> {};
+
+TEST_P(WeightFuzz, OptimizedWeightEqualsBruteForce) {
+  const auto& [name, n_hint] = GetParam();
+  const u64 n = preferred_population(name, n_hint);
+  ProtocolPtr p = make_protocol(name, n);
+  Rng rng(derive_seed(71, name, n));
+  for (int trial = 0; trial < 25; ++trial) {
+    p->reset(initial::uniform_random(*p, rng));
+    ASSERT_EQ(p->productive_weight(),
+              reference_productive_weight(*p, p->counts()))
+        << name << " n=" << n << " trial " << trial;
+    // Also check mid-trajectory after a few productive steps.
+    for (int s = 0; s < 8 && !p->is_silent(); ++s) p->step_productive(rng);
+    ASSERT_EQ(p->productive_weight(),
+              reference_productive_weight(*p, p->counts()));
+  }
+}
+
+std::string label(
+    const ::testing::TestParamInfo<std::tuple<std::string, u64>>& info) {
+  std::string s =
+      std::get<0>(info.param) + "_n" + std::to_string(std::get<1>(info.param));
+  for (char& c : s) {
+    if (c == '-') c = '_';
+  }
+  return s;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndProtocols, WeightFuzz,
+    ::testing::Combine(::testing::Values(std::string("ag"),
+                                         std::string("ring-of-traps"),
+                                         std::string("line-of-traps"),
+                                         std::string("tree-ranking")),
+                       ::testing::Values<u64>(2, 3, 5, 8, 13, 21, 34, 55,
+                                              89, 144)),
+    label);
+
+TEST(WeightFuzz, ModifiedTreeProtocolToo) {
+  TreeRankingProtocol p(40, 4, TreeRankingProtocol::ResetMode::kModified);
+  Rng rng(72);
+  for (int trial = 0; trial < 25; ++trial) {
+    p.reset(initial::uniform_random(p, rng));
+    ASSERT_EQ(p.productive_weight(),
+              reference_productive_weight(p, p.counts()));
+  }
+}
+
+TEST(WeightFuzz, SingleLineToo) {
+  SingleLineProtocol p(12, 3, 2);
+  Rng rng(73);
+  for (int trial = 0; trial < 25; ++trial) {
+    p.reset(initial::uniform_random(p, rng));
+    ASSERT_EQ(p.productive_weight(),
+              reference_productive_weight(p, p.counts()));
+  }
+}
+
+TEST(WeightFuzz, UniformStepPreservesConsistencyToo) {
+  // The uniform-step path mutates through apply_cross; fuzz it as well.
+  for (const auto name : protocol_names()) {
+    const u64 n = preferred_population(name, 72);
+    ProtocolPtr p = make_protocol(name, n);
+    Rng rng(derive_seed(74, name));
+    p->reset(initial::uniform_random(*p, rng));
+    for (int s = 0; s < 500 && !p->is_silent(); ++s) {
+      p->step_uniform(rng);
+    }
+    ASSERT_EQ(p->productive_weight(),
+              reference_productive_weight(*p, p->counts()))
+        << name;
+  }
+}
+
+}  // namespace
+}  // namespace pp
