@@ -3,6 +3,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+
+#include "runner/sink.hpp"
 
 namespace pp::bench {
 namespace {
@@ -20,6 +23,7 @@ Context init(int argc, char** argv, const std::string& experiment_id,
   ctx.trials = std::strtoull(env_or("POPRANK_TRIALS", "0"), nullptr, 10);
   ctx.seed = std::strtoull(env_or("POPRANK_SEED", "0"), nullptr, 10);
   if (ctx.seed == 0) ctx.seed = kDefaultRootSeed;
+  ctx.threads = std::strtoull(env_or("POPRANK_THREADS", "0"), nullptr, 10);
   ctx.csv_dir = env_or("POPRANK_CSV_DIR", "");
   if (std::strcmp(env_or("POPRANK_QUICK", "0"), "1") == 0) {
     ctx.size = Context::Size::kQuick;
@@ -33,6 +37,8 @@ Context init(int argc, char** argv, const std::string& experiment_id,
       ctx.trials = std::strtoull(a + 9, nullptr, 10);
     } else if (std::strncmp(a, "--seed=", 7) == 0) {
       ctx.seed = std::strtoull(a + 7, nullptr, 10);
+    } else if (std::strncmp(a, "--threads=", 10) == 0) {
+      ctx.threads = std::strtoull(a + 10, nullptr, 10);
     } else if (std::strncmp(a, "--csv=", 6) == 0) {
       ctx.csv_dir = a + 6;
     } else if (std::strcmp(a, "--quick") == 0) {
@@ -41,42 +47,107 @@ Context init(int argc, char** argv, const std::string& experiment_id,
       ctx.size = Context::Size::kFull;
     } else {
       std::fprintf(stderr,
-                   "unknown flag %s (known: --trials= --seed= --csv= "
-                   "--quick --full)\n",
+                   "unknown flag %s (known: --trials= --seed= --threads= "
+                   "--csv= --quick --full)\n",
                    a);
       std::exit(2);
+    }
+  }
+  ctx.pool = std::make_shared<ThreadPool>(ctx.threads);
+  ctx.bench_json_path = (ctx.csv_dir.empty() ? std::string(".")
+                                             : ctx.csv_dir) +
+                        "/BENCH_" + slugify(experiment_id) + ".json";
+  {
+    // Truncate and stamp the run so a file always describes one run.
+    std::ofstream f(ctx.bench_json_path, std::ios::trunc);
+    if (f.good()) {
+      f << "{\"kind\":\"run\",\"experiment\":\"" << json_escape(experiment_id)
+        << "\",\"seed\":" << ctx.seed << ",\"threads\":" << ctx.pool->size()
+        << ",\"size\":\""
+        << (ctx.quick() ? "quick" : (ctx.full() ? "full" : "standard"))
+        << "\"}\n";
+    } else {
+      std::fprintf(stderr, "WARNING: cannot write %s; BENCH records dropped\n",
+                   ctx.bench_json_path.c_str());
     }
   }
   std::printf("=======================================================\n");
   std::printf("%s\n", experiment_id.c_str());
   std::printf("%s\n", claim.c_str());
-  std::printf("root seed %llu | %s sweep%s\n",
+  std::printf("root seed %llu | %s sweep%s | runner threads %s\n",
               static_cast<unsigned long long>(ctx.seed),
               ctx.quick() ? "quick" : (ctx.full() ? "full" : "standard"),
-              ctx.trials ? " | trials overridden" : "");
+              ctx.trials ? " | trials overridden" : "",
+              ctx.threads ? std::to_string(ctx.threads).c_str() : "auto");
   std::printf("=======================================================\n\n");
   return ctx;
+}
+
+TrialSpec make_spec(const std::string& label, u64 n,
+                    const ProtocolFactory& factory, const ConfigGenerator& gen,
+                    u64 max_interactions) {
+  TrialSpec spec;
+  spec.label = label;
+  spec.n = n;
+  spec.factory = factory;
+  spec.init = gen;
+  spec.max_interactions = max_interactions;
+  return spec;
+}
+
+RunnerOptions runner_options(const Context& ctx, u64 trials) {
+  RunnerOptions opt;
+  opt.trials = trials;
+  opt.threads = ctx.threads;
+  opt.master_seed = ctx.seed;
+  opt.keep_records = true;
+  return opt;
+}
+
+void emit_bench_json(const Context& ctx, const std::string& point, u64 n,
+                     double param, const TrialSet& set) {
+  std::ofstream f(ctx.bench_json_path, std::ios::app);
+  if (!f.good()) return;  // init() already warned about the unwritable path
+  char num[40];
+  f << "{\"kind\":\"point\",\"point\":\"" << json_escape(point)
+    << "\",\"n\":" << n;
+  std::snprintf(num, sizeof(num), "%.6g", param);
+  f << ",\"param\":" << num << ",\"trials\":" << set.stats.trials
+    << ",\"threads\":" << set.threads;
+  std::snprintf(num, sizeof(num), "%.6g", set.wall_seconds);
+  f << ",\"wall_seconds\":" << num;
+  std::snprintf(num, sizeof(num), "%.6g", set.trials_per_sec);
+  f << ",\"trials_per_sec\":" << num;
+  std::snprintf(num, sizeof(num), "%.17g", set.stats.parallel_time.mean());
+  f << ",\"mean_parallel_time\":" << num
+    << ",\"timeouts\":" << set.stats.timeouts
+    << ",\"invalid\":" << set.stats.invalid << "}\n";
+}
+
+void warn_if_invalid(const TrialSet& set, const std::string& label) {
+  if (set.stats.invalid != 0) {
+    std::fprintf(stderr, "WARNING: %llu invalid outcomes at %s\n",
+                 static_cast<unsigned long long>(set.stats.invalid),
+                 label.c_str());
+  }
 }
 
 SweepPoint run_point(const Context& ctx, const std::string& label, u64 n,
                      double param, const ProtocolFactory& factory,
                      const ConfigGenerator& gen, u64 trials,
                      u64 max_interactions) {
-  MeasureOptions opt;
-  opt.trials = trials;
-  opt.root_seed = ctx.seed;
-  opt.label = label;
-  opt.max_interactions = max_interactions;
-  const Measurement m = measure(factory, gen, opt);
+  const TrialSpec spec = make_spec(label, n, factory, gen, max_interactions);
+  const TrialSet set = run_trials(spec, runner_options(ctx, trials), *ctx.pool);
   SweepPoint p;
   p.n = n;
   p.param = param;
-  p.time = m.summary();
-  p.timeouts = m.timeouts;
-  if (m.invalid != 0) {
-    std::fprintf(stderr, "WARNING: %llu invalid outcomes at %s\n",
-                 static_cast<unsigned long long>(m.invalid), label.c_str());
-  }
+  p.time = set.summary();
+  p.timeouts = set.stats.timeouts;
+  p.wall_seconds = set.wall_seconds;
+  p.trials_per_sec = set.trials_per_sec;
+  p.threads = set.threads;
+  warn_if_invalid(set, label);
+  emit_bench_json(ctx, label, n, param, set);
   return p;
 }
 

@@ -1,16 +1,28 @@
 // Shared plumbing for the benchmark binaries.
 //
 // Every bench accepts the same knobs (flags override environment):
-//   --trials=N / POPRANK_TRIALS       trials per measurement point
-//   --seed=S   / POPRANK_SEED        root seed (printed for reproduction)
-//   --csv=DIR  / POPRANK_CSV_DIR     also dump every table as CSV
-//   --quick    / POPRANK_QUICK=1     smaller sweeps (CI-sized)
-//   --full     / POPRANK_FULL=1      larger sweeps (paper-sized)
+//   --trials=N  / POPRANK_TRIALS     trials per measurement point
+//   --seed=S    / POPRANK_SEED       root seed (printed for reproduction)
+//   --threads=T / POPRANK_THREADS    runner pool size (0 = all cores)
+//   --csv=DIR   / POPRANK_CSV_DIR    also dump every table as CSV
+//   --quick     / POPRANK_QUICK=1    smaller sweeps (CI-sized)
+//   --full      / POPRANK_FULL=1     larger sweeps (paper-sized)
+//
+// Measurement points fan their trials out over the parallel runner
+// (src/runner/), whose per-trial seed streams make the numbers identical
+// for every thread count — and identical to the old serial harness, which
+// used the same derive_seed(root, label, trial) scheme.
+//
+// Besides the human-readable tables, every binary appends one JSON line
+// per measurement point to BENCH_<experiment>.json (in the CSV dir if set,
+// else the working directory): trials/sec, wall time, thread count, mean
+// time.  Future PRs diff these files to track the perf trajectory.
 //
 // Default sweeps are calibrated to finish each binary in well under a
 // minute on one laptop core.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -18,21 +30,29 @@
 #include "analysis/fit.hpp"
 #include "analysis/table.hpp"
 #include "common/types.hpp"
+#include "runner/runner.hpp"
 
 namespace pp::bench {
 
 struct Context {
   u64 trials = 0;  ///< 0 = per-bench default
   u64 seed = kDefaultRootSeed;
+  u64 threads = 0;  ///< runner pool size; 0 = hardware concurrency
   std::string csv_dir;
+  std::string bench_json_path;  ///< machine-readable per-point records
   enum class Size { kQuick, kStandard, kFull } size = Size::kStandard;
+
+  /// One pool for the whole bench run; every measurement point fans its
+  /// trials out over it (created by init()).
+  std::shared_ptr<ThreadPool> pool;
 
   u64 trials_or(u64 fallback) const { return trials != 0 ? trials : fallback; }
   bool quick() const { return size == Size::kQuick; }
   bool full() const { return size == Size::kFull; }
 };
 
-/// Parses flags/environment and prints the experiment banner.
+/// Parses flags/environment, prints the experiment banner and truncates
+/// the BENCH_*.json file for this run.
 Context init(int argc, char** argv, const std::string& experiment_id,
              const std::string& claim);
 
@@ -42,13 +62,38 @@ struct SweepPoint {
   double param = 0;  ///< free axis (k, trap count, ... ; n if unused)
   Summary time;      ///< parallel stabilisation times
   u64 timeouts = 0;
+
+  // Runner throughput for this point (also appended to BENCH_*.json).
+  double wall_seconds = 0;
+  double trials_per_sec = 0;
+  u64 threads = 1;
 };
 
-/// Measures one (protocol factory, generator) point.
+/// Measures one (protocol factory, generator) point through the parallel
+/// runner and appends its BENCH_*.json record.
 SweepPoint run_point(const Context& ctx, const std::string& label, u64 n,
                      double param, const ProtocolFactory& factory,
                      const ConfigGenerator& gen, u64 trials,
                      u64 max_interactions = ~static_cast<u64>(0));
+
+/// Builds the TrialSpec run_point would use — for benches that drive
+/// run_trials() directly (extra engines, sinks, custom aggregation).
+TrialSpec make_spec(const std::string& label, u64 n,
+                    const ProtocolFactory& factory, const ConfigGenerator& gen,
+                    u64 max_interactions = ~static_cast<u64>(0));
+
+/// RunnerOptions matching the context's seed/threads knobs.
+RunnerOptions runner_options(const Context& ctx, u64 trials);
+
+/// Appends one machine-readable record for a measurement point to the
+/// run's BENCH_*.json (a JSON-lines file).  run_point calls this; benches
+/// that use run_trials() directly should call it themselves.
+void emit_bench_json(const Context& ctx, const std::string& point, u64 n,
+                     double param, const TrialSet& set);
+
+/// Prints the "invalid outcomes" warning run_point would print — benches
+/// that use run_trials() directly must not drop that signal.
+void warn_if_invalid(const TrialSet& set, const std::string& label);
 
 /// Adds the standard columns of a sweep point to a table row:
 /// n, param (skipped when negative), mean, ci95, median, q95, timeouts.

@@ -14,7 +14,6 @@
 #include <cstdio>
 
 #include "analysis/timeline.hpp"
-#include "core/initial.hpp"
 #include "protocols/factory.hpp"
 
 namespace pp::bench {
@@ -22,19 +21,21 @@ namespace {
 
 int run(const Context& ctx) {
   const u64 n_hint = ctx.quick() ? 72 : 960;
+  const u64 trials = ctx.trials_or(ctx.quick() ? 5 : 20);
   for (const auto name : protocol_names()) {
     const u64 n = preferred_population(name, n_hint);
-    ProtocolPtr p = make_protocol(name, n);
-    Rng rng(derive_seed(ctx.seed, std::string("profile-") +
-                                      std::string(name)));
+    const std::string proto(name);
     // The tree protocol profiles best from all-in-X1 (forces a visible
     // reset wave); the others from uniform chaos.
-    if (name == "tree-ranking") {
-      p->reset(initial::all_in_state(
-          *p, static_cast<StateId>(p->num_ranks())));
-    } else {
-      p->reset(initial::uniform_random(*p, rng));
-    }
+    const bool from_buffer = name == "tree-ranking";
+    const ConfigGenerator gen =
+        from_buffer ? gen_all_in_state(static_cast<StateId>(n))
+                    : gen_uniform_random();
+
+    // One illustrative trajectory as a checkpoint timeline...
+    ProtocolPtr p = make_protocol(name, n);
+    Rng rng(derive_seed(ctx.seed, "profile-" + proto));
+    p->reset(gen(*p, rng));
     Timeline tl(1.0, 2.0);
     RunOptions opt;
     opt.on_change = tl.observer();
@@ -43,8 +44,26 @@ int run(const Context& ctx) {
     Table t = tl.to_table("P1 convergence profile: " + std::string(name) +
                           " at n=" + std::to_string(n));
     emit(ctx, t);
-    std::printf("stabilised at parallel time %.1f, valid ranking: %s\n\n",
-                r.parallel_time, r.valid ? "yes" : "NO");
+
+    // ... plus the stabilisation-time distribution the single trajectory
+    // is drawn from, fanned out over the runner.
+    TrialSpec spec = make_spec("p1-" + proto, n,
+                               [proto, n] { return make_protocol(proto, n); },
+                               gen);
+    spec.protocol = proto;  // descriptive only: the factory takes precedence
+    const TrialSet set =
+        run_trials(spec, runner_options(ctx, trials), *ctx.pool);
+    warn_if_invalid(set, spec.label);
+    emit_bench_json(ctx, spec.label, n, 0, set);
+    const Summary sum = set.summary();
+    std::printf(
+        "shown trajectory stabilised at parallel time %.1f (valid ranking: "
+        "%s); over %llu trials: mean %.1f, median %.1f, q95 %.1f "
+        "(%.1f trials/s on %llu threads)\n\n",
+        r.parallel_time, r.valid ? "yes" : "NO",
+        static_cast<unsigned long long>(trials), sum.mean, sum.median,
+        sum.q95, set.trials_per_sec,
+        static_cast<unsigned long long>(set.threads));
   }
   return 0;
 }

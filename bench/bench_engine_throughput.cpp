@@ -5,12 +5,18 @@
 //     unit of work: Fenwick sample + rule application),
 //   * uniform-step throughput (the naive engine's unit of work),
 //   * full stabilisation wall-time, accelerated vs uniform — the speedup
-//     that makes the Θ(n^2)-time protocols benchable at all.
+//     that makes the Θ(n^2)-time protocols benchable at all,
+//   * Monte-Carlo trial throughput, legacy serial harness vs the parallel
+//     runner at 1/2/4/8 threads (compare the "trials/s" counters; on a
+//     machine with >= 8 cores the 8-thread runner should be >= 3x the
+//     serial path — the fan-out is embarrassingly parallel).
 #include <benchmark/benchmark.h>
 
+#include "analysis/experiment.hpp"
 #include "core/engine.hpp"
 #include "core/initial.hpp"
 #include "protocols/factory.hpp"
+#include "runner/runner.hpp"
 
 namespace pp {
 namespace {
@@ -102,6 +108,60 @@ BENCHMARK_CAPTURE(BM_StabiliseUniform, ag, "ag")->Arg(256)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(BM_StabiliseAccelerated, tree, "tree-ranking")->Arg(4096)
     ->Unit(benchmark::kMillisecond);
+
+// ---- Monte-Carlo trial throughput: serial harness vs parallel runner ----
+
+constexpr u64 kTrialBatch = 32;  ///< trials per benchmark iteration
+
+/// The pre-runner path: analysis/experiment.cpp's serial measure() loop.
+void BM_TrialsSerial(benchmark::State& state) {
+  const u64 n = preferred_population("ring-of-traps", 1024);
+  MeasureOptions opt;
+  opt.trials = kTrialBatch;
+  opt.label = "bm-trials";
+  u64 trials = 0;
+  for (auto _ : state) {
+    const Measurement m =
+        measure([n] { return make_protocol("ring-of-traps", n); },
+                gen_uniform_random(), opt);
+    trials += m.parallel_times.size();
+    benchmark::DoNotOptimize(m.timeouts);
+  }
+  state.counters["trials/s"] = benchmark::Counter(
+      static_cast<double>(trials), benchmark::Counter::kIsRate);
+}
+
+/// The same trials (bit-identical per-trial results — same seed stream)
+/// fanned out over the runner's thread pool; Arg = thread count.
+void BM_TrialsRunner(benchmark::State& state) {
+  const u64 n = preferred_population("ring-of-traps", 1024);
+  TrialSpec spec;
+  spec.protocol = "ring-of-traps";
+  spec.n = n;
+  spec.label = "bm-trials";
+  RunnerOptions opt;
+  opt.trials = kTrialBatch;
+  opt.threads = static_cast<u64>(state.range(0));
+  opt.keep_records = false;
+  ThreadPool pool(opt.threads);
+  u64 trials = 0;
+  for (auto _ : state) {
+    const TrialSet set = run_trials(spec, opt, pool);
+    trials += set.stats.trials;
+    benchmark::DoNotOptimize(set.stats.timeouts);
+  }
+  state.counters["trials/s"] = benchmark::Counter(
+      static_cast<double>(trials), benchmark::Counter::kIsRate);
+}
+
+BENCHMARK(BM_TrialsSerial)->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK(BM_TrialsRunner)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 }  // namespace
 }  // namespace pp

@@ -19,6 +19,17 @@ namespace {
 int run(const Context& ctx) {
   const u64 trials = ctx.trials_or(ctx.quick() ? 3 : 7);
 
+  // Runner throughput across every measurement point (footer line).
+  double total_wall = 0;
+  u64 total_trials = 0;
+  u64 pool_threads = 1;
+  const auto track = [&](const SweepPoint& p) {
+    total_wall += p.wall_seconds;
+    total_trials += trials;
+    pool_threads = p.threads;
+    return p;
+  };
+
   // --- (a) fixed n, k sweep -------------------------------------------
   const u64 n_fixed = ctx.quick() ? 1056 : 2256;  // 32*33, 47*48
   std::vector<u64> ks{1, 2, 4, 8, 16, 32, 64};
@@ -29,10 +40,10 @@ int run(const Context& ctx) {
                "time/(k*n^1.5)"});
     const double n15 = std::pow(static_cast<double>(n_fixed), 1.5);
     for (const u64 k : ks) {
-      const SweepPoint p = run_point(
+      const SweepPoint p = track(run_point(
           ctx, "e2a-k" + std::to_string(k), n_fixed, static_cast<double>(k),
           [n_fixed] { return make_protocol("ring-of-traps", n_fixed); },
-          gen_k_distant(k), trials);
+          gen_k_distant(k), trials));
       t.row()
           .cell(k)
           .cell(p.time.mean, 5)
@@ -58,10 +69,10 @@ int run(const Context& ctx) {
                "time/n^1.5"});
     std::vector<SweepPoint> pts;
     for (const u64 n : sizes) {
-      const SweepPoint p = run_point(
+      const SweepPoint p = track(run_point(
           ctx, "e2b-n" + std::to_string(n), n, 1.0,
           [n] { return make_protocol("ring-of-traps", n); },
-          gen_k_distant(1), trials);
+          gen_k_distant(1), trials));
       pts.push_back(p);
       t.row()
           .cell(p.n)
@@ -85,13 +96,13 @@ int run(const Context& ctx) {
     t.headers({"k", "ring mean", "ag mean", "ring/ag"});
     for (const u64 k : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u}) {
       if (k >= n / 2) break;
-      const SweepPoint ring = run_point(
+      const SweepPoint ring = track(run_point(
           ctx, "e2c-ring-k" + std::to_string(k), n, static_cast<double>(k),
           [n] { return make_protocol("ring-of-traps", n); },
-          gen_k_distant(k), trials);
-      const SweepPoint ag = run_point(
+          gen_k_distant(k), trials));
+      const SweepPoint ag = track(run_point(
           ctx, "e2c-ag-k" + std::to_string(k), n, static_cast<double>(k),
-          [n] { return make_protocol("ag", n); }, gen_k_distant(k), trials);
+          [n] { return make_protocol("ag", n); }, gen_k_distant(k), trials));
       t.row()
           .cell(k)
           .cell(ring.time.mean, 5)
@@ -103,6 +114,11 @@ int run(const Context& ctx) {
         "paper[E2c]: ring wins (ratio < 1) while k = o(sqrt n); AG's time "
         "is k-insensitive at Theta(n^2).\n");
   }
+  std::printf(
+      "\nrunner: %llu trials in %.2f s (%.1f trials/s) on %llu threads\n",
+      static_cast<unsigned long long>(total_trials), total_wall,
+      total_wall > 0 ? static_cast<double>(total_trials) / total_wall : 0.0,
+      static_cast<unsigned long long>(pool_threads));
   return 0;
 }
 

@@ -1,14 +1,18 @@
 // E7 — "with high probability" means concentrated: stabilisation-time
 // distributions have light upper tails (1 - n^{-eta} guarantees).
 //
-// For each protocol we run many independent trials and report the
-// quantiles; the paper's whp bounds predict max/median staying a small
-// constant (no heavy tail), in contrast to e.g. exponential waiting times.
+// For each protocol we run many independent trials through the parallel
+// runner and report the quantiles; the paper's whp bounds predict
+// max/median staying a small constant (no heavy tail), in contrast to e.g.
+// exponential waiting times.  With --csv=DIR the per-trial records are
+// also dumped as whp-trials.jsonl for tail plots.
 #include "bench_common.hpp"
 
 #include <cstdio>
+#include <memory>
 
 #include "protocols/factory.hpp"
+#include "runner/sink.hpp"
 
 namespace pp::bench {
 namespace {
@@ -27,26 +31,48 @@ int run(const Context& ctx) {
       {"tree-ranking", 4096},
   };
 
+  std::unique_ptr<JsonlSink> sink;
+  if (!ctx.csv_dir.empty()) {
+    // Degrade like the Table CSVs do: an unwritable dir skips the dump
+    // instead of aborting the bench (the sink itself asserts on open).
+    const std::string path = ctx.csv_dir + "/whp-trials.jsonl";
+    if (std::ofstream(path).good()) {
+      sink = std::make_unique<JsonlSink>(path);
+    } else {
+      std::fprintf(stderr, "WARNING: cannot write %s; skipping trial dump\n",
+                   path.c_str());
+    }
+  }
+
   Table t("E7 whp concentration (" + std::to_string(trials) +
           " trials each, uniform-random starts)");
   t.headers({"protocol", "n", "mean", "median", "q95", "max", "max/median",
-             "stddev/mean"});
+             "stddev/mean", "trials/s"});
   for (const auto& s : specs) {
     const u64 n = preferred_population(s.protocol, ctx.quick() ? s.n / 4 : s.n);
     const std::string proto = s.protocol;
-    const SweepPoint p = run_point(
-        ctx, std::string("e7-") + s.protocol, n, 0,
-        [proto, n] { return make_protocol(proto, n); }, gen_uniform_random(),
-        trials);
+    TrialSpec spec = make_spec(
+        std::string("e7-") + s.protocol, n,
+        [proto, n] { return make_protocol(proto, n); }, gen_uniform_random());
+    spec.protocol = proto;  // descriptive only: the factory takes precedence
+    const TrialSet set =
+        run_trials(spec, runner_options(ctx, trials), *ctx.pool);
+    warn_if_invalid(set, spec.label);
+    emit_bench_json(ctx, spec.label, n, 0, set);
+    if (sink) {
+      sink->write_trials(spec, set);
+    }
+    const Summary sum = set.summary();
     t.row()
         .cell(std::string(s.protocol))
         .cell(n)
-        .cell(p.time.mean, 5)
-        .cell(p.time.median, 5)
-        .cell(p.time.q95, 5)
-        .cell(p.time.max, 5)
-        .cell(p.time.max / p.time.median, 3)
-        .cell(p.time.stddev / p.time.mean, 3);
+        .cell(sum.mean, 5)
+        .cell(sum.median, 5)
+        .cell(sum.q95, 5)
+        .cell(sum.max, 5)
+        .cell(sum.max / sum.median, 3)
+        .cell(sum.stddev / sum.mean, 3)
+        .cell(set.trials_per_sec, 4);
   }
   emit(ctx, t);
   std::printf(

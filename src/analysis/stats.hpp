@@ -30,6 +30,37 @@ struct Summary {
 /// Computes a Summary; `samples` may be unsorted and is left untouched.
 Summary summarize(std::span<const double> samples);
 
+/// Online mean/variance accumulator (Welford's algorithm), O(1) memory.
+///
+/// Pushing the same values in the same order produces bit-identical state,
+/// which is what the parallel runner relies on for thread-count-independent
+/// aggregates: per-trial records are folded in trial-index order after the
+/// fan-out, never in completion order.  merge() combines two accumulators
+/// with the parallel-variance formula (Chan et al.); merging is exact in
+/// count/min/max and correct-to-rounding in mean/variance, so deterministic
+/// pipelines should prefer a fixed push order over ad-hoc merge trees.
+class RunningStat {
+ public:
+  void push(double x);
+  void merge(const RunningStat& other);
+
+  u64 count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double sum() const { return mean() * static_cast<double>(count_); }
+
+ private:
+  u64 count_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;  ///< sum of squared deviations from the running mean
+  double min_ = 0;
+  double max_ = 0;
+};
+
 /// Linear-interpolation quantile of a *sorted* sample, q in [0, 1].
 double quantile_sorted(std::span<const double> sorted, double q);
 

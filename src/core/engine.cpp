@@ -5,11 +5,22 @@
 namespace pp {
 namespace {
 
+// Common exit path of both engines; also enforces the RunResult contract
+// that observers and the parallel runner rely on: interactions never
+// undercounts productive_steps, and `silent` stays defined as
+// productive_weight()==0 on the protocol object itself.  The second assert
+// is a tripwire against future drift (e.g. silent becoming a cached flag
+// that can go stale); an *independent* recount of silence from the formal
+// transition function lives in tests/test_engine.cpp, not on the hot path.
 RunResult finish(const Protocol& p, RunResult r) {
   r.silent = p.is_silent();
   r.valid = p.is_valid_ranking();
   r.parallel_time =
       static_cast<double>(r.interactions) / static_cast<double>(p.num_agents());
+  PP_ASSERT_MSG(r.interactions >= r.productive_steps,
+                "engine contract: interactions >= productive_steps");
+  PP_ASSERT_MSG(!r.silent || p.productive_weight() == 0,
+                "engine contract: silent implies productive_weight()==0");
   return r;
 }
 

@@ -1,0 +1,129 @@
+#include "runner/runner.hpp"
+
+#include <chrono>
+
+#include "common/assert.hpp"
+#include "core/initial.hpp"
+#include "protocols/factory.hpp"
+
+namespace pp {
+
+const char* engine_kind_name(EngineKind k) {
+  switch (k) {
+    case EngineKind::kAccelerated:
+      return "accelerated";
+    case EngineKind::kUniform:
+      return "uniform";
+    case EngineKind::kAdversarial:
+      return "adversarial";
+  }
+  return "?";
+}
+
+ProtocolFactory TrialSpec::resolve_factory() const {
+  if (factory) return factory;
+  PP_ASSERT_MSG(!protocol.empty() && n > 0,
+                "TrialSpec needs either a factory or protocol+n");
+  const std::string name = protocol;
+  const u64 size = n;
+  return [name, size] { return make_protocol(name, size); };
+}
+
+void AggregateStats::fold(const TrialRecord& r) {
+  ++trials;
+  if (!r.silent) {
+    ++timeouts;
+  } else if (!r.valid) {
+    ++invalid;
+  }
+  parallel_time.push(r.parallel_time);
+  interactions.push(static_cast<double>(r.interactions));
+  productive_steps.push(static_cast<double>(r.productive_steps));
+}
+
+Summary TrialSet::summary() const {
+  PP_ASSERT_MSG(!records.empty(), "summary() needs keep_records");
+  return summarize(parallel_times());
+}
+
+std::vector<double> TrialSet::parallel_times() const {
+  std::vector<double> out;
+  out.reserve(records.size());
+  for (const TrialRecord& r : records) out.push_back(r.parallel_time);
+  return out;
+}
+
+TrialRecord run_one_trial(const TrialSpec& spec, u64 trial_index, u64 seed) {
+  Rng rng(seed);
+  ProtocolPtr p = spec.resolve_factory()();
+  if (spec.init) {
+    p->reset(spec.init(*p, rng));
+  } else {
+    p->reset(initial::uniform_random(*p, rng));
+  }
+  RunResult r;
+  switch (spec.engine) {
+    case EngineKind::kAccelerated: {
+      RunOptions ro;
+      ro.max_interactions = spec.max_interactions;
+      r = run_accelerated(*p, rng, ro);
+      break;
+    }
+    case EngineKind::kUniform: {
+      RunOptions ro;
+      ro.max_interactions = spec.max_interactions;
+      r = run_uniform(*p, rng, ro);
+      break;
+    }
+    case EngineKind::kAdversarial:
+      r = run_adversarial(*p, spec.adversary, rng, spec.max_interactions);
+      break;
+  }
+  TrialRecord rec;
+  rec.trial = trial_index;
+  rec.seed = seed;
+  rec.interactions = r.interactions;
+  rec.productive_steps = r.productive_steps;
+  rec.parallel_time = r.parallel_time;
+  rec.silent = r.silent;
+  rec.valid = r.valid;
+  return rec;
+}
+
+TrialSet run_trials(const TrialSpec& spec, const RunnerOptions& opt,
+                    ThreadPool& pool) {
+  PP_ASSERT(opt.trials >= 1);
+  const SeedStream seeds(opt.master_seed, spec.label);
+
+  TrialSet out;
+  out.threads = pool.size();
+  out.records.resize(opt.trials);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  // Each trial writes only records[t]; no cross-thread state.  The shared
+  // spec is read-only (resolve_factory() copies what it captures).
+  pool.parallel_for(opt.trials, [&](u64 t) {
+    out.records[t] = run_one_trial(spec, t, seeds.trial_seed(t));
+  });
+  const auto t1 = std::chrono::steady_clock::now();
+  out.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  out.trials_per_sec = out.wall_seconds > 0
+                           ? static_cast<double>(opt.trials) / out.wall_seconds
+                           : 0.0;
+
+  // Deterministic aggregation: fold in trial-index order, never in
+  // completion order.
+  for (const TrialRecord& r : out.records) out.stats.fold(r);
+  if (!opt.keep_records) {
+    out.records.clear();
+    out.records.shrink_to_fit();
+  }
+  return out;
+}
+
+TrialSet run_trials(const TrialSpec& spec, const RunnerOptions& opt) {
+  ThreadPool pool(opt.threads);
+  return run_trials(spec, opt, pool);
+}
+
+}  // namespace pp

@@ -1,0 +1,127 @@
+// The parallel Monte-Carlo trial runner.
+//
+// A TrialSpec describes one measurement point: which protocol to build
+// (factory-registry name or an explicit factory), how to generate the
+// starting configuration, which engine drives the schedule (accelerated /
+// uniform / one of the adversarial schedulers from core/adversary), and the
+// interaction budget.  run_trials() fans `trials` independent copies out
+// over a ThreadPool and returns per-trial records plus merged aggregates.
+//
+// Determinism guarantee.  Trial t's generator is seeded with
+// derive_seed(master_seed, label, t) — exactly the derivation the legacy
+// serial harness (analysis/experiment.cpp) uses — and each trial writes
+// only to its own slot of a preallocated record array.  Aggregates are
+// folded from that array in trial-index order after the fan-out completes.
+// Results are therefore bit-identical for every thread count and schedule,
+// and identical to a serial run with the same master seed.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/experiment.hpp"
+#include "analysis/stats.hpp"
+#include "core/adversary.hpp"
+#include "core/engine.hpp"
+#include "core/protocol.hpp"
+#include "runner/seed_stream.hpp"
+#include "runner/thread_pool.hpp"
+
+namespace pp {
+
+enum class EngineKind {
+  kAccelerated,  ///< exact geometric null-skipping (the default)
+  kUniform,      ///< faithful one-interaction-at-a-time reference engine
+  kAdversarial,  ///< hostile scheduler; see TrialSpec::adversary
+};
+
+const char* engine_kind_name(EngineKind k);
+
+struct TrialSpec {
+  /// Protocol to instantiate: a factory-registry name ("ag",
+  /// "ring-of-traps", ...) with population n, or an explicit factory that
+  /// overrides both.
+  std::string protocol;
+  u64 n = 0;
+  ProtocolFactory factory;
+
+  /// Starting-configuration generator (analysis/experiment.hpp /
+  /// core/initial.hpp); defaults to uniform_random over all states.
+  ConfigGenerator init;
+
+  EngineKind engine = EngineKind::kAccelerated;
+  AdversaryPolicy adversary = AdversaryPolicy::kRandomProductive;
+
+  /// Budget: scheduler interactions for the random engines, productive
+  /// firings for the adversarial ones.
+  u64 max_interactions = ~static_cast<u64>(0);
+
+  /// Seed-derivation namespace; specs with different labels draw
+  /// independent streams from the same master seed.
+  std::string label = "runner";
+
+  /// The factory to actually use (explicit one, else registry lookup).
+  ProtocolFactory resolve_factory() const;
+};
+
+/// The per-trial outcome, reduced to what analysis and sinks consume.
+struct TrialRecord {
+  u64 trial = 0;  ///< trial index; records arrive sorted by this field
+  u64 seed = 0;   ///< the derived per-trial seed (for replaying one trial)
+  u64 interactions = 0;
+  u64 productive_steps = 0;
+  double parallel_time = 0;
+  bool silent = false;
+  bool valid = false;
+};
+
+/// Trial-index-ordered fold of all records (see runner.cpp): bit-identical
+/// for every thread count.
+struct AggregateStats {
+  u64 trials = 0;
+  u64 timeouts = 0;  ///< trials that exhausted max_interactions
+  u64 invalid = 0;   ///< silent but not a valid ranking (never expected)
+  RunningStat parallel_time;
+  RunningStat interactions;
+  RunningStat productive_steps;
+
+  void fold(const TrialRecord& r);
+};
+
+struct TrialSet {
+  AggregateStats stats;
+  /// One record per trial, ordered by trial index; cleared when
+  /// RunnerOptions::keep_records is false.
+  std::vector<TrialRecord> records;
+
+  // Throughput bookkeeping (wall clock, not part of the determinism
+  // guarantee).
+  double wall_seconds = 0;
+  double trials_per_sec = 0;
+  u64 threads = 1;
+
+  /// Quantile summary of parallel times; requires keep_records.
+  Summary summary() const;
+  /// The parallel times alone, trial order (requires keep_records).
+  std::vector<double> parallel_times() const;
+};
+
+struct RunnerOptions {
+  u64 trials = 100;
+  u64 threads = 0;  ///< pool size; 0 = hardware concurrency
+  u64 master_seed = kDefaultRootSeed;
+  bool keep_records = true;
+};
+
+/// Runs opt.trials independent trials of `spec` on a fresh pool.
+TrialSet run_trials(const TrialSpec& spec, const RunnerOptions& opt);
+
+/// Same, reusing a caller-owned pool (opt.threads is ignored).
+TrialSet run_trials(const TrialSpec& spec, const RunnerOptions& opt,
+                    ThreadPool& pool);
+
+/// Runs one trial of `spec` with an explicit seed — the replay tool behind
+/// TrialRecord::seed, also the kernel the parallel fan-out executes.
+TrialRecord run_one_trial(const TrialSpec& spec, u64 trial_index, u64 seed);
+
+}  // namespace pp

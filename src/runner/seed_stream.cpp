@@ -1,0 +1,14 @@
+#include "runner/seed_stream.hpp"
+
+#include "rng/splitmix64.hpp"
+
+namespace pp {
+
+u64 SeedStream::sub_seed(u64 trial, std::string_view component) const {
+  // Chain two derivations: first down to the trial, then into the named
+  // component.  mix64 decorrelates the trial seed from its own use as the
+  // trial's main stream seed.
+  return derive_seed(mix64(trial_seed(trial)), component, trial);
+}
+
+}  // namespace pp

@@ -1,0 +1,69 @@
+// Output sinks for runner results: CSV and JSON-lines, the two formats the
+// plotting scripts downstream of bench/ consume.
+//
+// Both sinks write one row/object per trial via write_trials() (ordered by
+// trial index — the runner's determinism guarantee makes these files
+// byte-identical across thread counts) and one row/object per measurement
+// point via write_aggregate().  A sink can be backed by an owned file or by
+// a caller-owned stream (used by the tests).
+#pragma once
+
+#include <fstream>
+#include <memory>
+#include <ostream>
+#include <string>
+
+#include "runner/runner.hpp"
+
+namespace pp {
+
+class TrialSink {
+ public:
+  virtual ~TrialSink() = default;
+
+  /// Emits every record of `set` (requires keep_records).
+  virtual void write_trials(const TrialSpec& spec, const TrialSet& set) = 0;
+
+  /// Emits the merged statistics of one measurement point.
+  virtual void write_aggregate(const TrialSpec& spec, const TrialSet& set) = 0;
+};
+
+/// RFC-4180-ish CSV; a header row is written before the first data row.
+/// Trial rows and aggregate rows have different shapes, so a CsvSink must
+/// be used for one kind only (asserted).
+class CsvSink : public TrialSink {
+ public:
+  explicit CsvSink(const std::string& path);
+  explicit CsvSink(std::ostream& out);
+
+  void write_trials(const TrialSpec& spec, const TrialSet& set) override;
+  void write_aggregate(const TrialSpec& spec, const TrialSet& set) override;
+
+ private:
+  enum class Mode { kUnset, kTrials, kAggregates };
+  void set_mode(Mode m);
+
+  std::unique_ptr<std::ofstream> file_;
+  std::ostream* out_;
+  Mode mode_ = Mode::kUnset;
+};
+
+/// JSON-lines: one self-describing object per line; trial and aggregate
+/// objects can share a file (they carry a "kind" field).
+class JsonlSink : public TrialSink {
+ public:
+  explicit JsonlSink(const std::string& path);
+  explicit JsonlSink(std::ostream& out);
+
+  void write_trials(const TrialSpec& spec, const TrialSet& set) override;
+  void write_aggregate(const TrialSpec& spec, const TrialSet& set) override;
+
+ private:
+  std::unique_ptr<std::ofstream> file_;
+  std::ostream* out_;
+};
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+std::string json_escape(std::string_view s);
+
+}  // namespace pp

@@ -1,0 +1,113 @@
+#include "runner/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace pp {
+
+u64 ThreadPool::resolve_threads(u64 threads) {
+  if (threads == 0) {
+    threads = std::max<u64>(1, std::thread::hardware_concurrency());
+  }
+  return threads;
+}
+
+ThreadPool::ThreadPool(u64 threads) {
+  threads = resolve_threads(threads);
+  workers_.reserve(threads - 1);
+  for (u64 i = 0; i + 1 < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_ready_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+u64 ThreadPool::chunk_size(u64 count, u64 threads) {
+  // Small enough that slow trials do not strand work on one thread (8
+  // chunks per thread), large enough to amortise the fetch_add.
+  return std::max<u64>(1, count / (threads * 8));
+}
+
+void ThreadPool::parallel_for(u64 count, const std::function<void(u64)>& fn) {
+  if (count == 0) return;
+  if (workers_.empty()) {
+    // Single-threaded pool: no scheduling at all, plain loop.
+    for (u64 i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    PP_ASSERT_MSG(job_fn_ == nullptr, "nested parallel_for on one pool");
+    job_count_ = count;
+    job_chunk_ = chunk_size(count, size());
+    job_fn_ = &fn;
+    cursor_.store(0, std::memory_order_relaxed);
+    completed_ = 0;
+    ++generation_;
+  }
+  work_ready_.notify_all();
+
+  const u64 mine = drain_current_job();
+
+  std::unique_lock<std::mutex> lock(mu_);
+  completed_ += mine;
+  // Wait until every index ran AND every attached worker detached: only
+  // then is it safe to retire the job (and, back in the caller, to destroy
+  // fn or submit the next job).
+  job_done_.wait(lock, [&] { return completed_ == job_count_ && active_ == 0; });
+  job_fn_ = nullptr;
+}
+
+u64 ThreadPool::drain_current_job() {
+  // job_count_/job_chunk_/job_fn_ are stable for the whole job: the caller
+  // cannot retire or replace the job while this thread is attached, and
+  // attachment happened under mu_ (workers) or the fields were written by
+  // this thread itself (the caller).
+  const u64 count = job_count_;
+  const u64 chunk = job_chunk_;
+  const std::function<void(u64)>& fn = *job_fn_;
+  u64 processed = 0;
+  while (true) {
+    const u64 begin = cursor_.fetch_add(chunk, std::memory_order_relaxed);
+    if (begin >= count) break;
+    const u64 end = std::min(begin + chunk, count);
+    for (u64 i = begin; i < end; ++i) fn(i);
+    processed += end - begin;
+  }
+  return processed;
+}
+
+void ThreadPool::worker_loop() {
+  u64 seen_generation = 0;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_ready_.wait(
+          lock, [&] { return stop_ || generation_ != seen_generation; });
+      if (stop_) return;
+      seen_generation = generation_;
+      // The job this generation announced may already be fully drained and
+      // retired (every index ran before this thread got the lock).  Only
+      // attach while the job is live; otherwise go back to waiting.
+      if (job_fn_ == nullptr) continue;
+      ++active_;
+    }
+    const u64 mine = drain_current_job();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      completed_ += mine;
+      --active_;
+      if (completed_ == job_count_ && active_ == 0) job_done_.notify_all();
+    }
+  }
+}
+
+}  // namespace pp

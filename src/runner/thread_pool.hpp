@@ -1,0 +1,83 @@
+// A small persistent thread pool with a chunked dynamic index queue.
+//
+// The runner's unit of work is "run trial i", so the pool only needs one
+// primitive: parallel_for(count, fn), which invokes fn(i) exactly once for
+// every i in [0, count), distributing contiguous chunks of indices to
+// whichever thread is free (an atomic fetch_add on the shared cursor — the
+// classic dynamic-chunk scheme, which keeps threads busy even when trial
+// durations vary by orders of magnitude, as stabilisation times do).
+//
+// The calling thread participates as a worker, so ThreadPool(1) spawns no
+// threads at all and runs everything inline — handy both for debugging and
+// as the baseline of the determinism tests.  Correctness of the runner
+// never depends on the schedule: trials write only to their own slot of a
+// preallocated results array.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace pp {
+
+class ThreadPool {
+ public:
+  /// Creates a pool of `threads` workers total, *including* the caller of
+  /// parallel_for; 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(u64 threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total worker count (spawned threads + the calling thread).
+  u64 size() const { return workers_.size() + 1; }
+
+  /// Runs fn(i) once for every i in [0, count); blocks until all calls
+  /// have returned.  fn must not throw and must not call parallel_for on
+  /// the same pool (no nesting).
+  void parallel_for(u64 count, const std::function<void(u64)>& fn);
+
+  /// Largest number of indices handed to a thread at once for a job of
+  /// `count` indices over `threads` workers (exposed for tests).
+  static u64 chunk_size(u64 count, u64 threads);
+
+  /// The worker count a pool built with `threads` will have (0 resolves to
+  /// hardware concurrency); shared by the constructor and callers that
+  /// want to report the count without building a pool.
+  static u64 resolve_threads(u64 threads);
+
+ private:
+  void worker_loop();
+  /// Pulls chunks from the current job until the cursor is exhausted;
+  /// returns the number of indices this thread processed.  Must only be
+  /// called while attached to the job (see active_).
+  u64 drain_current_job();
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::condition_variable job_done_;
+  bool stop_ = false;
+  u64 generation_ = 0;  ///< bumped once per parallel_for call
+
+  // Current job, valid while job_fn_ != nullptr.  A worker "attaches"
+  // (increments active_) under mu_ before touching any job field and
+  // detaches after its last write; the caller retires the job only once
+  // completed_ == job_count_ and active_ == 0, so a late-waking worker can
+  // never observe a half-published next job or a dangling fn.
+  u64 job_count_ = 0;
+  u64 job_chunk_ = 1;
+  const std::function<void(u64)>* job_fn_ = nullptr;
+  std::atomic<u64> cursor_{0};     ///< next unclaimed index
+  u64 completed_ = 0;              ///< indices finished (guarded by mu_)
+  u64 active_ = 0;                 ///< workers attached (guarded by mu_)
+};
+
+}  // namespace pp

@@ -193,5 +193,79 @@ TEST(Engine, EveryProtocolAgreesOnSilenceEqualsValidRanking) {
   }
 }
 
+// Regression for the RunResult/observer contract the parallel runner
+// depends on (also PP_ASSERTed inside the engines' common exit path):
+// interactions never undercounts productive steps — under a budget, an
+// observer abort, or a run to silence — and a silent verdict coincides
+// with productive_weight() == 0 on the protocol object itself.
+TEST(Engine, RunResultContractHoldsOnEveryExitPath) {
+  for (const auto name : protocol_names()) {
+    const u64 n = preferred_population(name, 80);
+    for (const bool accelerated : {true, false}) {
+      const auto run = [&](Protocol& p, Rng& rng, const RunOptions& opt) {
+        return accelerated ? run_accelerated(p, rng, opt)
+                           : run_uniform(p, rng, opt);
+      };
+      // Independent silence check: enumerate occupied state pairs through
+      // the formal transition function δ — no Fenwick/count machinery, so
+      // a stale cached weight cannot fool it.
+      const auto truly_silent = [](const Protocol& p) {
+        const auto& counts = p.counts();
+        for (StateId a = 0; a < counts.size(); ++a) {
+          if (counts[a] == 0) continue;
+          for (StateId b = 0; b < counts.size(); ++b) {
+            if (counts[b] == 0 || (a == b && counts[a] < 2)) continue;
+            const auto [a2, b2] = p.transition(a, b);
+            if (a2 != a || b2 != b) return false;
+          }
+        }
+        return true;
+      };
+      const auto check = [&](const RunResult& r, const Protocol& p) {
+        EXPECT_GE(r.interactions, r.productive_steps) << name;
+        EXPECT_EQ(r.silent, truly_silent(p)) << name;
+        if (r.silent) {
+          EXPECT_EQ(p.productive_weight(), 0u) << name;
+        } else {
+          EXPECT_GT(p.productive_weight(), 0u) << name;
+        }
+      };
+      // Run to silence.
+      {
+        ProtocolPtr p = make_protocol(name, n);
+        Rng rng(21);
+        p->reset(initial::uniform_random(*p, rng));
+        check(run(*p, rng, {}), *p);
+      }
+      // Budget exhaustion: censored mid-run, silent must be false.
+      {
+        ProtocolPtr p = make_protocol(name, n);
+        Rng rng(22);
+        p->reset(initial::uniform_random(*p, rng));
+        RunOptions opt;
+        opt.max_interactions = n;  // far below stabilisation
+        const RunResult r = run(*p, rng, opt);
+        EXPECT_FALSE(r.silent) << name;
+        check(r, *p);
+      }
+      // Observer abort after the third configuration change.
+      {
+        ProtocolPtr p = make_protocol(name, n);
+        Rng rng(23);
+        p->reset(initial::uniform_random(*p, rng));
+        RunOptions opt;
+        u64 changes = 0;
+        opt.on_change = [&changes](const Protocol&, u64) {
+          return ++changes < 3;
+        };
+        const RunResult r = run(*p, rng, opt);
+        EXPECT_TRUE(r.aborted) << name;
+        EXPECT_EQ(r.productive_steps, 3u) << name;
+        check(r, *p);
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace pp
