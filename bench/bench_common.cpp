@@ -3,9 +3,6 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
-
-#include "runner/sink.hpp"
 
 namespace pp::bench {
 namespace {
@@ -54,23 +51,14 @@ Context init(int argc, char** argv, const std::string& experiment_id,
     }
   }
   ctx.pool = std::make_shared<ThreadPool>(ctx.threads);
-  ctx.bench_json_path = (ctx.csv_dir.empty() ? std::string(".")
-                                             : ctx.csv_dir) +
-                        "/BENCH_" + slugify(experiment_id) + ".json";
-  {
-    // Truncate and stamp the run so a file always describes one run.
-    std::ofstream f(ctx.bench_json_path, std::ios::trunc);
-    if (f.good()) {
-      f << "{\"kind\":\"run\",\"experiment\":\"" << json_escape(experiment_id)
-        << "\",\"seed\":" << ctx.seed << ",\"threads\":" << ctx.pool->size()
-        << ",\"size\":\""
-        << (ctx.quick() ? "quick" : (ctx.full() ? "full" : "standard"))
-        << "\"}\n";
-    } else {
-      std::fprintf(stderr, "WARNING: cannot write %s; BENCH records dropped\n",
-                   ctx.bench_json_path.c_str());
-    }
-  }
+  // Truncates the file and stamps a per-run id: a BENCH file always
+  // describes exactly one run (runner/bench_log.hpp, tested in
+  // tests/test_bench_log.cpp).
+  BenchLog::RunInfo info;
+  info.seed = ctx.seed;
+  info.threads = ctx.pool->size();
+  info.size = ctx.quick() ? "quick" : (ctx.full() ? "full" : "standard");
+  ctx.bench_log = BenchLog::open(ctx.csv_dir, experiment_id, info);
   std::printf("=======================================================\n");
   std::printf("%s\n", experiment_id.c_str());
   std::printf("%s\n", claim.c_str());
@@ -106,22 +94,7 @@ RunnerOptions runner_options(const Context& ctx, u64 trials) {
 
 void emit_bench_json(const Context& ctx, const std::string& point, u64 n,
                      double param, const TrialSet& set) {
-  std::ofstream f(ctx.bench_json_path, std::ios::app);
-  if (!f.good()) return;  // init() already warned about the unwritable path
-  char num[40];
-  f << "{\"kind\":\"point\",\"point\":\"" << json_escape(point)
-    << "\",\"n\":" << n;
-  std::snprintf(num, sizeof(num), "%.6g", param);
-  f << ",\"param\":" << num << ",\"trials\":" << set.stats.trials
-    << ",\"threads\":" << set.threads;
-  std::snprintf(num, sizeof(num), "%.6g", set.wall_seconds);
-  f << ",\"wall_seconds\":" << num;
-  std::snprintf(num, sizeof(num), "%.6g", set.trials_per_sec);
-  f << ",\"trials_per_sec\":" << num;
-  std::snprintf(num, sizeof(num), "%.17g", set.stats.parallel_time.mean());
-  f << ",\"mean_parallel_time\":" << num
-    << ",\"timeouts\":" << set.stats.timeouts
-    << ",\"invalid\":" << set.stats.invalid << "}\n";
+  ctx.bench_log.append_point(point, n, param, set);
 }
 
 void warn_if_invalid(const TrialSet& set, const std::string& label) {

@@ -30,6 +30,7 @@
 #include "analysis/fit.hpp"
 #include "analysis/table.hpp"
 #include "common/types.hpp"
+#include "runner/bench_log.hpp"
 #include "runner/runner.hpp"
 
 namespace pp::bench {
@@ -39,7 +40,7 @@ struct Context {
   u64 seed = kDefaultRootSeed;
   u64 threads = 0;  ///< runner pool size; 0 = hardware concurrency
   std::string csv_dir;
-  std::string bench_json_path;  ///< machine-readable per-point records
+  BenchLog bench_log;  ///< machine-readable per-point records (one run/file)
   enum class Size { kQuick, kStandard, kFull } size = Size::kStandard;
 
   /// One pool for the whole bench run; every measurement point fans its
@@ -86,8 +87,9 @@ TrialSpec make_spec(const std::string& label, u64 n,
 RunnerOptions runner_options(const Context& ctx, u64 trials);
 
 /// Appends one machine-readable record for a measurement point to the
-/// run's BENCH_*.json (a JSON-lines file).  run_point calls this; benches
-/// that use run_trials() directly should call it themselves.
+/// run's BENCH_*.json (a JSON-lines file, truncated per run — see
+/// runner/bench_log.hpp).  run_point calls this; benches that use
+/// run_trials() directly should call it themselves.
 void emit_bench_json(const Context& ctx, const std::string& point, u64 n,
                      double param, const TrialSet& set);
 

@@ -26,22 +26,34 @@ RunResult finish(const Protocol& p, RunResult r) {
 
 }  // namespace
 
+bool advance_past_nulls(Rng& rng, double prob, u64 budget,
+                        u64& interactions) {
+  const u64 skip = rng.geometric_failures(prob);
+  // For astronomically small `prob` the sampled gap can exceed u64 range
+  // (geometric_failures saturates at kGeometricInfinity).  Any such gap
+  // necessarily overruns the interaction budget, so clamp to it instead
+  // of treating the sentinel as an ordinary gap length.
+  if (skip == Rng::kGeometricInfinity || skip >= budget - interactions) {
+    interactions = budget;
+    return false;
+  }
+  interactions += skip + 1;
+  return true;
+}
+
 RunResult run_accelerated(Protocol& p, Rng& rng, const RunOptions& opt) {
   const u64 n = p.num_agents();
+  PP_ASSERT_MSG(n >= 2, "run_accelerated needs n >= 2 (no pairs otherwise)");
   const double pairs = static_cast<double>(n) * static_cast<double>(n - 1);
   RunResult r;
   while (true) {
     const u64 w = p.productive_weight();
     if (w == 0) break;
     const double prob = static_cast<double>(w) / pairs;
-    const u64 skip = rng.geometric_failures(prob);
-    PP_DCHECK(skip != Rng::kGeometricInfinity);
-    // The next productive interaction is number r.interactions + skip + 1.
-    if (skip >= opt.max_interactions - r.interactions) {
-      r.interactions = opt.max_interactions;
+    if (!advance_past_nulls(rng, prob, opt.max_interactions,
+                            r.interactions)) {
       return finish(p, r);
     }
-    r.interactions += skip + 1;
     p.step_productive(rng);
     ++r.productive_steps;
     if (opt.on_change && !opt.on_change(p, r.interactions)) {
@@ -53,6 +65,8 @@ RunResult run_accelerated(Protocol& p, Rng& rng, const RunOptions& opt) {
 }
 
 RunResult run_uniform(Protocol& p, Rng& rng, const RunOptions& opt) {
+  PP_ASSERT_MSG(p.num_agents() >= 2,
+                "run_uniform needs n >= 2 (no pairs otherwise)");
   RunResult r;
   while (p.productive_weight() != 0) {
     if (r.interactions >= opt.max_interactions) return finish(p, r);
@@ -67,5 +81,10 @@ RunResult run_uniform(Protocol& p, Rng& rng, const RunOptions& opt) {
   }
   return finish(p, r);
 }
+
+// pp::run(p, rng, opt) — the scheduler-dispatching entry point declared
+// above — is defined in schedulers/scheduler.cpp: it needs the Scheduler
+// vtable, and keeping that out of this file keeps src/core compilable
+// without src/schedulers.
 
 }  // namespace pp

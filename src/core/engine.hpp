@@ -28,6 +28,8 @@
 
 namespace pp {
 
+class Scheduler;  // src/schedulers/scheduler.hpp
+
 struct RunOptions {
   /// Hard budget on scheduler interactions (null ones included); the run
   /// reports silent = false if the budget is exhausted first.
@@ -36,6 +38,13 @@ struct RunOptions {
   /// Optional observer invoked after every configuration change with the
   /// number of interactions elapsed so far; return false to abort the run.
   std::function<bool(const Protocol&, u64)> on_change;
+
+  /// Which interaction model drives the run.  nullptr (the default) selects
+  /// the accelerated uniform engine; anything else is a non-owning pointer
+  /// into src/schedulers/ (run(p, rng, opt) dispatches to it).  Schedulers
+  /// are immutable — all per-run state lives inside their run() — so a
+  /// const pointer is enough and one instance can serve many threads.
+  const Scheduler* scheduler = nullptr;
 };
 
 struct RunResult {
@@ -52,5 +61,20 @@ RunResult run_accelerated(Protocol& p, Rng& rng, const RunOptions& opt = {});
 
 /// Faithful one-interaction-at-a-time simulation.
 RunResult run_uniform(Protocol& p, Rng& rng, const RunOptions& opt = {});
+
+/// Runs `p` under opt.scheduler when set, else under the accelerated
+/// uniform engine — the single entry point callers should prefer now that
+/// the interaction model is pluggable.
+RunResult run(Protocol& p, Rng& rng, const RunOptions& opt = {});
+
+/// The exact-acceleration kernel shared by run_accelerated and the
+/// graph-restricted scheduler: samples the geometric run of null steps
+/// preceding the next productive one (per-step success probability `prob`)
+/// and advances `interactions` past it, including the productive step
+/// itself.  Returns false — with interactions clamped to `budget` — when
+/// the gap overruns the budget, treating Rng::kGeometricInfinity (the
+/// sampler's saturation sentinel for astronomically small `prob`) as an
+/// overrun of any budget.
+bool advance_past_nulls(Rng& rng, double prob, u64 budget, u64& interactions);
 
 }  // namespace pp

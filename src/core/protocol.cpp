@@ -86,6 +86,21 @@ bool Protocol::step_uniform(Rng& rng) {
   return apply_cross(si, sr);
 }
 
+std::pair<StateId, StateId> Protocol::apply_pair(StateId initiator,
+                                                 StateId responder) {
+  PP_DCHECK(initiator < n_states_ && responder < n_states_);
+  PP_DCHECK(counts_[initiator] >= 1);
+  PP_DCHECK(counts_[responder] >=
+            (initiator == responder ? static_cast<u64>(2) : 1));
+  const auto [i2, r2] = transition(initiator, responder);
+  if (i2 == initiator && r2 == responder) return {initiator, responder};
+  mutate(initiator, -1);
+  mutate(responder, -1);
+  mutate(i2, +1);
+  mutate(r2, +1);
+  return {i2, r2};
+}
+
 void Protocol::step_extra(u64 /*target*/, Rng& /*rng*/) {
   PP_ASSERT_MSG(false, "protocol reported extra_weight() but does not "
                        "implement step_extra()");

@@ -78,6 +78,16 @@ class Protocol {
   /// changed.
   bool step_uniform(Rng& rng);
 
+  /// Applies δ to one *specific* ordered pair of agents currently in states
+  /// (initiator, responder) and returns their new states — unchanged inputs
+  /// mean a null interaction.  This is how the agent-level schedulers
+  /// (src/schedulers/: random matching, graph-restricted) drive the
+  /// protocol: they decide who meets, the protocol's transition function
+  /// decides what happens, and all count/Fenwick bookkeeping stays
+  /// consistent.  Precondition: both states are occupied (two distinct
+  /// agents, so count(s) >= 2 when initiator == responder).
+  std::pair<StateId, StateId> apply_pair(StateId initiator, StateId responder);
+
   /// Silent <=> no interaction can change the configuration.
   bool is_silent() const { return productive_weight() == 0; }
 

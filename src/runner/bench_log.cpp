@@ -1,0 +1,69 @@
+#include "runner/bench_log.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+
+#include "analysis/table.hpp"
+#include "rng/seed_sequence.hpp"
+#include "runner/sink.hpp"
+
+namespace pp {
+
+BenchLog BenchLog::open(const std::string& dir,
+                        const std::string& experiment_id,
+                        const RunInfo& info) {
+  BenchLog log;
+  const std::string path =
+      (dir.empty() ? std::string(".") : dir) + "/BENCH_" +
+      slugify(experiment_id) + ".json";
+  const u64 now = static_cast<u64>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+  // A process-local counter keeps ids distinct even where system_clock
+  // ticks coarser than the gap between two open() calls.
+  static std::atomic<u64> open_count{0};
+  const u64 nonce = open_count.fetch_add(1, std::memory_order_relaxed);
+  const u64 run_id = derive_seed(info.seed ^ now, experiment_id, nonce);
+
+  // Truncate: one file == one run.  Records from a previous invocation
+  // must never survive into this run's trajectory.
+  std::ofstream f(path, std::ios::trunc);
+  if (!f.good()) {
+    std::fprintf(stderr, "WARNING: cannot write %s; BENCH records dropped\n",
+                 path.c_str());
+    return log;
+  }
+  f << "{\"kind\":\"run\",\"experiment\":\"" << json_escape(experiment_id)
+    << "\",\"run_id\":" << run_id << ",\"seed\":" << info.seed
+    << ",\"threads\":" << info.threads << ",\"size\":\""
+    << json_escape(info.size) << "\"}\n";
+  log.path_ = path;
+  log.run_id_ = run_id;
+  return log;
+}
+
+void BenchLog::append_point(const std::string& point, u64 n, double param,
+                            const TrialSet& set) const {
+  if (!enabled()) return;
+  std::ofstream f(path_, std::ios::app);
+  if (!f.good()) return;  // open() already warned about the unwritable path
+  char num[40];
+  f << "{\"kind\":\"point\",\"run_id\":" << run_id_ << ",\"point\":\""
+    << json_escape(point) << "\",\"n\":" << n;
+  std::snprintf(num, sizeof(num), "%.6g", param);
+  f << ",\"param\":" << num << ",\"trials\":" << set.stats.trials
+    << ",\"threads\":" << set.threads;
+  std::snprintf(num, sizeof(num), "%.6g", set.wall_seconds);
+  f << ",\"wall_seconds\":" << num;
+  std::snprintf(num, sizeof(num), "%.6g", set.trials_per_sec);
+  f << ",\"trials_per_sec\":" << num;
+  std::snprintf(num, sizeof(num), "%.17g", set.stats.parallel_time.mean());
+  f << ",\"mean_parallel_time\":" << num
+    << ",\"timeouts\":" << set.stats.timeouts
+    << ",\"invalid\":" << set.stats.invalid << "}\n";
+}
+
+}  // namespace pp

@@ -1,0 +1,58 @@
+// The machine-readable perf-trajectory log behind BENCH_*.json.
+//
+// Every benchmark binary appends one JSON-lines record per measurement
+// point; future PRs diff these files to track the performance trajectory.
+// The crucial invariant — previously enforced only inside bench_common and
+// untested — is that a BENCH file always describes exactly ONE run:
+// opening the log truncates the file and stamps a "run" header carrying a
+// per-run id, so re-running a bench can never mix stale points from a
+// previous invocation into the trajectory (tests/test_bench_log.cpp).
+//
+// A default-constructed BenchLog is disabled and swallows writes — the
+// benches keep running even when the output directory is unwritable (a
+// warning is printed once at open()).
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+#include "runner/runner.hpp"
+
+namespace pp {
+
+class BenchLog {
+ public:
+  /// Disabled log; append_point() is a no-op.
+  BenchLog() = default;
+
+  /// Metadata stamped into the run header.
+  struct RunInfo {
+    u64 seed = 0;
+    u64 threads = 0;
+    std::string size;  ///< "quick" / "standard" / "full"
+  };
+
+  /// Truncates dir/BENCH_<slug(experiment_id)>.json and writes the header:
+  ///   {"kind":"run","experiment":...,"run_id":...,"seed":...,...}
+  /// run_id is derived from (seed, experiment, wall clock) — two runs of
+  /// the same bench get distinct ids, so any stale point is detectable
+  /// even if truncation is ever lost.  Returns a disabled log (with a
+  /// stderr warning) when the path is unwritable.
+  static BenchLog open(const std::string& dir, const std::string& experiment_id,
+                       const RunInfo& info);
+
+  bool enabled() const { return !path_.empty(); }
+  const std::string& path() const { return path_; }
+  u64 run_id() const { return run_id_; }
+
+  /// Appends one per-point record (same schema the previous inline writer
+  /// produced, plus the run id).
+  void append_point(const std::string& point, u64 n, double param,
+                    const TrialSet& set) const;
+
+ private:
+  std::string path_;
+  u64 run_id_ = 0;
+};
+
+}  // namespace pp

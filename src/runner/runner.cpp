@@ -16,6 +16,8 @@ const char* engine_kind_name(EngineKind k) {
       return "uniform";
     case EngineKind::kAdversarial:
       return "adversarial";
+    case EngineKind::kScheduled:
+      return "scheduled";
   }
   return "?";
 }
@@ -53,7 +55,13 @@ std::vector<double> TrialSet::parallel_times() const {
   return out;
 }
 
-TrialRecord run_one_trial(const TrialSpec& spec, u64 trial_index, u64 seed) {
+namespace {
+
+// The fan-out kernel.  `shared_scheduler` lets run_trials() build one
+// (immutable, thread-safe) scheduler for the whole trial set instead of
+// once per trial — graph topologies can be O(n^2) to construct.
+TrialRecord run_one_trial_impl(const TrialSpec& spec, u64 trial_index,
+                               u64 seed, const Scheduler* shared_scheduler) {
   Rng rng(seed);
   ProtocolPtr p = spec.resolve_factory()();
   if (spec.init) {
@@ -78,6 +86,18 @@ TrialRecord run_one_trial(const TrialSpec& spec, u64 trial_index, u64 seed) {
     case EngineKind::kAdversarial:
       r = run_adversarial(*p, spec.adversary, rng, spec.max_interactions);
       break;
+    case EngineKind::kScheduled: {
+      SchedulerPtr own;
+      const Scheduler* s = shared_scheduler;
+      if (s == nullptr) {
+        own = make_scheduler(spec.scheduler, p->num_agents());
+        s = own.get();
+      }
+      RunOptions ro;
+      ro.max_interactions = spec.max_interactions;
+      r = s->run(*p, rng, ro);
+      break;
+    }
   }
   TrialRecord rec;
   rec.trial = trial_index;
@@ -90,10 +110,24 @@ TrialRecord run_one_trial(const TrialSpec& spec, u64 trial_index, u64 seed) {
   return rec;
 }
 
+}  // namespace
+
+TrialRecord run_one_trial(const TrialSpec& spec, u64 trial_index, u64 seed) {
+  return run_one_trial_impl(spec, trial_index, seed, nullptr);
+}
+
 TrialSet run_trials(const TrialSpec& spec, const RunnerOptions& opt,
                     ThreadPool& pool) {
   PP_ASSERT(opt.trials >= 1);
   const SeedStream seeds(opt.master_seed, spec.label);
+
+  // One scheduler for the whole set: Scheduler::run is const and all
+  // per-run state is local, so threads can share the instance.
+  SchedulerPtr shared_scheduler;
+  if (spec.engine == EngineKind::kScheduled) {
+    const ProtocolPtr probe = spec.resolve_factory()();
+    shared_scheduler = make_scheduler(spec.scheduler, probe->num_agents());
+  }
 
   TrialSet out;
   out.threads = pool.size();
@@ -103,7 +137,8 @@ TrialSet run_trials(const TrialSpec& spec, const RunnerOptions& opt,
   // Each trial writes only records[t]; no cross-thread state.  The shared
   // spec is read-only (resolve_factory() copies what it captures).
   pool.parallel_for(opt.trials, [&](u64 t) {
-    out.records[t] = run_one_trial(spec, t, seeds.trial_seed(t));
+    out.records[t] = run_one_trial_impl(spec, t, seeds.trial_seed(t),
+                                        shared_scheduler.get());
   });
   const auto t1 = std::chrono::steady_clock::now();
   out.wall_seconds = std::chrono::duration<double>(t1 - t0).count();

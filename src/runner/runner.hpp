@@ -26,6 +26,7 @@
 #include "core/protocol.hpp"
 #include "runner/seed_stream.hpp"
 #include "runner/thread_pool.hpp"
+#include "schedulers/scheduler.hpp"
 
 namespace pp {
 
@@ -33,6 +34,7 @@ enum class EngineKind {
   kAccelerated,  ///< exact geometric null-skipping (the default)
   kUniform,      ///< faithful one-interaction-at-a-time reference engine
   kAdversarial,  ///< hostile scheduler; see TrialSpec::adversary
+  kScheduled,    ///< pluggable interaction model; see TrialSpec::scheduler
 };
 
 const char* engine_kind_name(EngineKind k);
@@ -51,6 +53,11 @@ struct TrialSpec {
 
   EngineKind engine = EngineKind::kAccelerated;
   AdversaryPolicy adversary = AdversaryPolicy::kRandomProductive;
+
+  /// Interaction model for EngineKind::kScheduled (plain data — each trial
+  /// builds its scheduler from this and the resolved population size, so
+  /// specs stay copyable and threads share nothing mutable).
+  SchedulerSpec scheduler;
 
   /// Budget: scheduler interactions for the random engines, productive
   /// firings for the adversarial ones.
@@ -79,8 +86,11 @@ struct TrialRecord {
 /// for every thread count.
 struct AggregateStats {
   u64 trials = 0;
-  u64 timeouts = 0;  ///< trials that exhausted max_interactions
-  u64 invalid = 0;   ///< silent but not a valid ranking (never expected)
+  /// Trials that ended without reaching silence: the interaction budget
+  /// ran out or, under a graph-restricted scheduler, the run got locally
+  /// stuck (no productive edge left on the topology).
+  u64 timeouts = 0;
+  u64 invalid = 0;  ///< silent but not a valid ranking (never expected)
   RunningStat parallel_time;
   RunningStat interactions;
   RunningStat productive_steps;

@@ -1,0 +1,129 @@
+#include "schedulers/graph_restricted.hpp"
+
+#include "common/assert.hpp"
+
+namespace pp {
+namespace {
+
+constexpr u32 kNotProductive = static_cast<u32>(-1);
+
+// The mutable per-run state: agent states per vertex plus the incrementally
+// maintained set of productive directed edges.  Directed edge ids are
+// 2 * edge_id + orientation (0: (u, v) as stored, 1: reversed).
+struct EdgeState {
+  const InteractionGraph& g;
+  const Protocol& p;
+  std::vector<StateId> state;      // per vertex
+  std::vector<u32> productive;     // directed edge ids, unordered
+  std::vector<u32> where;          // directed edge id -> index in productive
+
+  EdgeState(const InteractionGraph& graph, const Protocol& proto,
+            std::vector<StateId> placement)
+      : g(graph), p(proto), state(std::move(placement)) {
+    where.assign(2 * g.num_edges(), kNotProductive);
+    for (u64 d = 0; d < where.size(); ++d) refresh(static_cast<u32>(d));
+  }
+
+  std::pair<u32, u32> endpoints(u32 directed) const {
+    const auto [u, v] = g.edges()[directed >> 1];
+    return (directed & 1) ? std::make_pair(v, u) : std::make_pair(u, v);
+  }
+
+  // Edge productivity is "δ changes either endpoint's state" — an
+  // agent-level notion, deliberately not Protocol::productive_weight's
+  // "changes the configuration".  The two coincide for every protocol in
+  // this library (δ is null iff it returns its inputs unchanged; rules
+  // never merely swap states), but a hypothetical swap rule
+  // δ(a,b) = (b,a) WOULD count as productive here: on a graph, agents
+  // have positions, so a swap genuinely moves state around the topology
+  // even though the count vector is unchanged.  Such a protocol never
+  // reaches edge-silence on its own — run it with a finite
+  // RunOptions::max_interactions.
+  bool is_productive(u32 directed) const {
+    const auto [u, v] = endpoints(directed);
+    return p.transition(state[u], state[v]) !=
+           std::make_pair(state[u], state[v]);
+  }
+
+  /// Syncs membership of one directed edge in the productive set.
+  void refresh(u32 directed) {
+    const bool now = is_productive(directed);
+    const bool was = where[directed] != kNotProductive;
+    if (now == was) return;
+    if (now) {
+      where[directed] = static_cast<u32>(productive.size());
+      productive.push_back(directed);
+    } else {
+      const u32 idx = where[directed];
+      const u32 moved = productive.back();
+      productive[idx] = moved;
+      where[moved] = idx;
+      productive.pop_back();
+      where[directed] = kNotProductive;
+    }
+  }
+
+  /// Re-tests every directed edge incident to v (both orientations).
+  void refresh_vertex(u32 v) {
+    for (const u32 e : g.incident_edges(v)) {
+      refresh(2 * e);
+      refresh(2 * e + 1);
+    }
+  }
+};
+
+}  // namespace
+
+GraphRestrictedScheduler::GraphRestrictedScheduler(
+    std::shared_ptr<const InteractionGraph> graph, bool accelerated)
+    : graph_(std::move(graph)), accelerated_(accelerated) {
+  PP_ASSERT_MSG(graph_ != nullptr, "graph-restricted scheduler needs a graph");
+  name_ = "graph-restricted[" + graph_->description() + "]";
+}
+
+RunResult GraphRestrictedScheduler::run(Protocol& p, Rng& rng,
+                                        const RunOptions& opt) const {
+  const u64 n = p.num_agents();
+  PP_ASSERT_MSG(graph_->num_vertices() == n,
+                "interaction graph size != population size");
+  std::vector<StateId> placement = p.configuration().to_agent_states();
+  rng.shuffle(placement);
+  EdgeState es(*graph_, p, std::move(placement));
+
+  const u64 directed_total = 2 * graph_->num_edges();
+  RunResult r;
+  while (!es.productive.empty()) {
+    u32 fired;
+    if (accelerated_) {
+      const double prob = static_cast<double>(es.productive.size()) /
+                          static_cast<double>(directed_total);
+      if (!advance_past_nulls(rng, prob, opt.max_interactions,
+                              r.interactions)) {
+        break;
+      }
+      fired = es.productive[rng.below(es.productive.size())];
+    } else {
+      if (r.interactions >= opt.max_interactions) break;
+      ++r.interactions;
+      const u32 drawn = static_cast<u32>(rng.below(directed_total));
+      if (es.where[drawn] == kNotProductive) continue;  // null step
+      fired = drawn;
+    }
+    const auto [u, v] = es.endpoints(fired);
+    const auto [su, sv] = p.apply_pair(es.state[u], es.state[v]);
+    PP_DCHECK(su != es.state[u] || sv != es.state[v]);
+    es.state[u] = su;
+    es.state[v] = sv;
+    es.refresh_vertex(u);
+    es.refresh_vertex(v);
+    ++r.productive_steps;
+    if (opt.on_change && !opt.on_change(p, r.interactions)) {
+      r.aborted = true;
+      break;
+    }
+  }
+  return detail::finish_run(
+      p, r, static_cast<double>(r.interactions) / static_cast<double>(n));
+}
+
+}  // namespace pp

@@ -1,0 +1,29 @@
+// The synchronous-rounds scheduler: one random maximal matching per round.
+//
+// In each round the n agents are paired up by a uniformly random maximal
+// matching (n odd leaves one agent idle) and every matched pair interacts
+// simultaneously; matched pairs are disjoint, so applying them one after
+// the other inside the round is equivalent.  The initiator/responder
+// orientation of each pair — which matters for cross-state rules like the
+// tree protocol's R4 — is a fair coin, supplied for free by the round's
+// uniform shuffle (slot order within a pair is already uniform).
+//
+// Parallel time is the number of rounds: the model fires Θ(n) interactions
+// per unit of time instead of 1, which is exactly the classic
+// "synchronous" reading of population dynamics.  RunResult::interactions
+// still counts individual pair meetings (nulls included) so interaction
+// budgets mean the same thing under every scheduler.
+#pragma once
+
+#include "schedulers/scheduler.hpp"
+
+namespace pp {
+
+class RandomMatchingScheduler final : public Scheduler {
+ public:
+  std::string_view name() const override { return "random-matching"; }
+  RunResult run(Protocol& p, Rng& rng,
+                const RunOptions& opt = {}) const override;
+};
+
+}  // namespace pp

@@ -1,0 +1,103 @@
+#include "schedulers/scheduler.hpp"
+
+#include "common/assert.hpp"
+#include "schedulers/graph_restricted.hpp"
+#include "schedulers/random_matching.hpp"
+#include "schedulers/uniform.hpp"
+
+namespace pp {
+
+// Declared in core/engine.hpp; defined here so src/core never depends on
+// the schedulers layer (only this call site needs the Scheduler vtable).
+RunResult run(Protocol& p, Rng& rng, const RunOptions& opt) {
+  if (opt.scheduler != nullptr) return opt.scheduler->run(p, rng, opt);
+  return run_accelerated(p, rng, opt);
+}
+
+const char* scheduler_kind_name(SchedulerKind k) {
+  switch (k) {
+    case SchedulerKind::kUniform:
+      return "uniform";
+    case SchedulerKind::kAcceleratedUniform:
+      return "accelerated-uniform";
+    case SchedulerKind::kRandomMatching:
+      return "random-matching";
+    case SchedulerKind::kGraphRestricted:
+      return "graph-restricted";
+  }
+  return "?";
+}
+
+std::vector<SchedulerKind> scheduler_kinds() {
+  return {SchedulerKind::kAcceleratedUniform, SchedulerKind::kUniform,
+          SchedulerKind::kRandomMatching, SchedulerKind::kGraphRestricted};
+}
+
+std::vector<SchedulerSpec> standard_scheduler_menu() {
+  std::vector<SchedulerSpec> menu;
+  SchedulerSpec s;
+  s.kind = SchedulerKind::kAcceleratedUniform;
+  menu.push_back(s);
+  s.kind = SchedulerKind::kUniform;
+  menu.push_back(s);
+  s.kind = SchedulerKind::kRandomMatching;
+  menu.push_back(s);
+  s.kind = SchedulerKind::kGraphRestricted;
+  s.graph = GraphKind::kComplete;
+  menu.push_back(s);
+  s.graph = GraphKind::kRandomRegular;
+  s.degree = 4;
+  menu.push_back(s);
+  s.graph = GraphKind::kCycle;
+  menu.push_back(s);
+  return menu;
+}
+
+std::string SchedulerSpec::to_string() const {
+  if (kind != SchedulerKind::kGraphRestricted) {
+    return scheduler_kind_name(kind);
+  }
+  std::string out = "graph-restricted[";
+  if (graph == GraphKind::kRandomRegular) {
+    out += "random-" + std::to_string(degree) + "-regular";
+  } else {
+    out += graph_kind_name(graph);
+  }
+  out += "]";
+  return out;
+}
+
+SchedulerPtr make_scheduler(const SchedulerSpec& spec, u64 n) {
+  switch (spec.kind) {
+    case SchedulerKind::kUniform:
+      return std::make_unique<UniformScheduler>();
+    case SchedulerKind::kAcceleratedUniform:
+      return std::make_unique<AcceleratedUniformScheduler>();
+    case SchedulerKind::kRandomMatching:
+      return std::make_unique<RandomMatchingScheduler>();
+    case SchedulerKind::kGraphRestricted: {
+      auto graph = std::make_shared<const InteractionGraph>(
+          InteractionGraph::make(spec.graph, n, spec.degree, spec.graph_seed));
+      return std::make_unique<GraphRestrictedScheduler>(
+          std::move(graph), spec.graph_accelerated);
+    }
+  }
+  PP_ASSERT_MSG(false, "unknown SchedulerKind");
+  return nullptr;
+}
+
+namespace detail {
+
+RunResult finish_run(const Protocol& p, RunResult r, double parallel_time) {
+  r.silent = p.is_silent();
+  r.valid = p.is_valid_ranking();
+  r.parallel_time = parallel_time;
+  PP_ASSERT_MSG(r.interactions >= r.productive_steps,
+                "scheduler contract: interactions >= productive_steps");
+  PP_ASSERT_MSG(!r.silent || p.productive_weight() == 0,
+                "scheduler contract: silent implies productive_weight()==0");
+  return r;
+}
+
+}  // namespace detail
+}  // namespace pp

@@ -1,0 +1,125 @@
+// The pluggable scheduler subsystem: "which ordered pair interacts next?"
+//
+// The paper states its complexity claims for the uniform random scheduler
+// — every interaction is an ordered pair of distinct agents drawn uniformly
+// at random.  This module extracts that decision out of the engines behind
+// a Scheduler interface so the same protocols can be exercised under other
+// classic interaction models:
+//
+//   uniform              one uniformly random ordered pair per step — the
+//                        paper's model, simulated faithfully (the former
+//                        run_uniform, delegated to verbatim so trajectories
+//                        stay bit-identical seed-for-seed);
+//   accelerated-uniform  the same distribution with exact geometric
+//                        null-skipping (the former run_accelerated,
+//                        delegated to verbatim);
+//   random-matching      synchronous rounds: each round a uniformly random
+//                        maximal matching of the agents fires at once
+//                        (initiator/responder orientation a fair coin per
+//                        matched pair; one unmatched agent idles when n is
+//                        odd);
+//   graph-restricted     agents are pinned to the vertices of a fixed
+//                        interaction graph (structures/interaction_graph)
+//                        by a uniformly random placement drawn at run
+//                        start; each step fires a uniformly random
+//                        *directed edge*.  An accelerated path intersects
+//                        the protocol's productive weight with the edge set
+//                        and skips null steps geometrically, exactly like
+//                        the accelerated uniform engine.
+//
+// Parallel-time accounting per scheduler (RunResult::parallel_time):
+//   uniform / accelerated-uniform / graph-restricted:  interactions / n
+//   random-matching:  the number of rounds (a round is one unit of
+//                     parallel time; RunResult::interactions still counts
+//                     individual pair meetings, nulls included, and the
+//                     interaction budget is spent in that currency).
+//
+// Termination.  Every scheduler stops at silence (productive_weight() == 0)
+// or on budget/observer abort.  The graph-restricted scheduler additionally
+// stops when no *edge* of its graph is productive while distant pairs still
+// would be ("locally stuck") — the run then reports silent = false, which
+// is exactly how non-stabilisation under a restricted topology shows up in
+// the aggregates.
+//
+// Scheduler objects hold only immutable configuration (e.g. a shared
+// topology); all per-run state lives inside run(), so one instance can be
+// shared by every thread of the parallel runner.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/protocol.hpp"
+#include "rng/random.hpp"
+#include "structures/interaction_graph.hpp"
+
+namespace pp {
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Human-readable model name, e.g. "random-matching" or
+  /// "graph-restricted[cycle]".
+  virtual std::string_view name() const = 0;
+
+  /// Runs `p` to silence, budget exhaustion, observer abort, or (for
+  /// restricted topologies) a locally stuck configuration.
+  /// opt.scheduler is ignored — dispatch already happened.
+  virtual RunResult run(Protocol& p, Rng& rng,
+                        const RunOptions& opt = {}) const = 0;
+};
+
+using SchedulerPtr = std::unique_ptr<Scheduler>;
+
+enum class SchedulerKind {
+  kUniform,
+  kAcceleratedUniform,
+  kRandomMatching,
+  kGraphRestricted,
+};
+
+const char* scheduler_kind_name(SchedulerKind k);
+
+/// All kinds, default (accelerated uniform) first.
+std::vector<SchedulerKind> scheduler_kinds();
+
+/// Everything needed to build a scheduler for a population of known size —
+/// the runner's TrialSpec carries one of these (plain data, copyable across
+/// threads).
+struct SchedulerSpec {
+  SchedulerKind kind = SchedulerKind::kAcceleratedUniform;
+
+  /// kGraphRestricted only: topology family and its parameters.  The
+  /// topology is derived from (graph, degree, graph_seed, n) alone — every
+  /// trial of a sweep point interacts on the same graph.
+  GraphKind graph = GraphKind::kComplete;
+  u64 degree = 3;      ///< kRandomRegular only
+  u64 graph_seed = 1;  ///< kRandomRegular only
+  bool graph_accelerated = true;  ///< null-skipping fast path
+
+  /// Display name, e.g. "graph-restricted[random-3-regular]".
+  std::string to_string() const;
+};
+
+/// Builds the scheduler described by `spec` for populations of size n.
+SchedulerPtr make_scheduler(const SchedulerSpec& spec, u64 n);
+
+/// The standard comparison menu (bench_scheduler_comparison and
+/// examples/scheduler_tour share it): accelerated-uniform, uniform,
+/// random-matching, then graph-restricted on complete, random-4-regular
+/// and cycle — complete mixing first, sparsest last.
+std::vector<SchedulerSpec> standard_scheduler_menu();
+
+namespace detail {
+
+/// Shared exit path of the scheduler implementations: stamps silent/valid
+/// from the protocol, installs the scheduler-specific parallel time and
+/// enforces the engine result contract.
+RunResult finish_run(const Protocol& p, RunResult r, double parallel_time);
+
+}  // namespace detail
+}  // namespace pp

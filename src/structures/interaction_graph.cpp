@@ -1,0 +1,197 @@
+#include "structures/interaction_graph.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/assert.hpp"
+#include "rng/random.hpp"
+
+namespace pp {
+
+const char* graph_kind_name(GraphKind k) {
+  switch (k) {
+    case GraphKind::kComplete:
+      return "complete";
+    case GraphKind::kCycle:
+      return "cycle";
+    case GraphKind::kPath:
+      return "path";
+    case GraphKind::kRandomRegular:
+      return "random-regular";
+    case GraphKind::kRouting:
+      return "routing";
+  }
+  return "?";
+}
+
+InteractionGraph::InteractionGraph(u64 n,
+                                   std::vector<std::pair<u32, u32>> edges,
+                                   std::string description)
+    : n_(n), edges_(std::move(edges)), description_(std::move(description)) {
+  PP_ASSERT_MSG(n_ >= 2, "interaction graph needs at least two vertices");
+  PP_ASSERT_MSG(!edges_.empty(), "interaction graph needs at least one edge");
+  // Directed edge ids (2 * edge + orientation) are u32 throughout the
+  // graph-restricted scheduler; reject graphs that would overflow them
+  // (complete graphs beyond n ~ 65536) instead of sampling a biased edge
+  // subset silently.
+  PP_ASSERT_MSG(edges_.size() < (static_cast<u64>(1) << 31),
+                "interaction graph too large: directed edge ids must fit u32");
+  incident_.resize(n_);
+  for (u32 e = 0; e < edges_.size(); ++e) {
+    const auto [u, v] = edges_[e];
+    PP_ASSERT_MSG(u < n_ && v < n_, "edge endpoint out of range");
+    PP_ASSERT_MSG(u != v, "interaction graphs have no self-loops");
+    incident_[u].push_back(e);
+    incident_[v].push_back(e);
+  }
+}
+
+namespace {
+
+// Directed edge ids (2 * edge + orientation) are u32 throughout the
+// graph-restricted scheduler, so every builder rejects oversized requests
+// *before* allocating the edge list (a complete graph's is Θ(n^2)).
+constexpr u64 kMaxEdges = static_cast<u64>(1) << 31;
+
+void check_buildable(u64 n, u64 edge_count) {
+  PP_ASSERT_MSG(n >= 2, "interaction graph needs at least two vertices");
+  PP_ASSERT_MSG(edge_count < kMaxEdges,
+                "interaction graph too large: directed edge ids must fit u32");
+}
+
+}  // namespace
+
+InteractionGraph InteractionGraph::complete(u64 n) {
+  check_buildable(n, n * (n - 1) / 2);  // caps n at 65536
+  std::vector<std::pair<u32, u32>> edges;
+  edges.reserve(n * (n - 1) / 2);
+  for (u64 u = 0; u < n; ++u) {
+    for (u64 v = u + 1; v < n; ++v) {
+      edges.emplace_back(static_cast<u32>(u), static_cast<u32>(v));
+    }
+  }
+  return InteractionGraph(n, std::move(edges), "complete");
+}
+
+InteractionGraph InteractionGraph::cycle(u64 n) {
+  check_buildable(n, n);
+  std::vector<std::pair<u32, u32>> edges;
+  edges.reserve(n);
+  for (u64 u = 0; u < n; ++u) {
+    edges.emplace_back(static_cast<u32>(u), static_cast<u32>((u + 1) % n));
+  }
+  return InteractionGraph(n, std::move(edges), "cycle");
+}
+
+InteractionGraph InteractionGraph::path(u64 n) {
+  check_buildable(n, n - 1);
+  std::vector<std::pair<u32, u32>> edges;
+  edges.reserve(n - 1);
+  for (u64 u = 0; u + 1 < n; ++u) {
+    edges.emplace_back(static_cast<u32>(u), static_cast<u32>(u + 1));
+  }
+  return InteractionGraph(n, std::move(edges), "path");
+}
+
+InteractionGraph InteractionGraph::random_regular(u64 n, u64 d, u64 seed) {
+  PP_ASSERT_MSG(d >= 1 && d < n, "random_regular needs 1 <= d < n");
+  PP_ASSERT_MSG((n * d) % 2 == 0, "random_regular needs n*d even");
+  check_buildable(n, n * d / 2);
+  Rng rng(seed);
+  std::vector<std::pair<u32, u32>> edges;
+  // Configuration model with rejection: pair up d stubs per vertex and
+  // resample whenever the pairing has a self-loop or a parallel edge.  The
+  // acceptance probability tends to exp(-(d^2-1)/4) — constant in n — so a
+  // generous attempt cap never triggers in practice for the small d used
+  // as interaction topologies.
+  std::vector<u32> stubs(n * d);
+  for (u64 i = 0; i < stubs.size(); ++i) {
+    stubs[i] = static_cast<u32>(i / d);
+  }
+  for (int attempt = 0; attempt < 10000; ++attempt) {
+    rng.shuffle(stubs);
+    edges.clear();
+    bool simple = true;
+    for (u64 i = 0; simple && i < stubs.size(); i += 2) {
+      u32 u = stubs[i];
+      u32 v = stubs[i + 1];
+      if (u == v) {
+        simple = false;
+        break;
+      }
+      if (u > v) std::swap(u, v);
+      edges.emplace_back(u, v);
+    }
+    if (!simple) continue;
+    std::sort(edges.begin(), edges.end());
+    if (std::adjacent_find(edges.begin(), edges.end()) != edges.end()) {
+      continue;
+    }
+    return InteractionGraph(n, std::move(edges),
+                            "random-" + std::to_string(d) + "-regular");
+  }
+  PP_ASSERT_MSG(false, "configuration model failed to produce a simple "
+                       "d-regular graph (d too large for n?)");
+  return InteractionGraph(n, std::move(edges), "unreachable");
+}
+
+InteractionGraph InteractionGraph::from_routing(const RoutingGraph& g) {
+  std::vector<std::pair<u32, u32>> edges;
+  edges.reserve(g.num_vertices() * 3 / 2);
+  // Each undirected edge occupies one slot at both endpoints; emitting only
+  // the slots with v < w keeps parallel edges (the m = 2 multigraph case)
+  // with their correct multiplicity.
+  for (u32 v = 0; v < g.num_vertices(); ++v) {
+    for (const u32 w : g.neighbours(v)) {
+      if (v < w) edges.emplace_back(v, w);
+    }
+  }
+  return InteractionGraph(g.num_vertices(), std::move(edges), "routing");
+}
+
+InteractionGraph InteractionGraph::make(GraphKind kind, u64 n, u64 degree,
+                                        u64 seed) {
+  switch (kind) {
+    case GraphKind::kComplete:
+      return complete(n);
+    case GraphKind::kCycle:
+      return cycle(n);
+    case GraphKind::kPath:
+      return path(n);
+    case GraphKind::kRandomRegular:
+      return random_regular(n, degree, seed);
+    case GraphKind::kRouting: {
+      u64 m = 0;
+      while ((m + 1) * (m + 1) <= n) ++m;
+      PP_ASSERT_MSG(m * m == n && m >= 2 && m % 2 == 0,
+                    "routing topology needs n = m^2 for an even m >= 2");
+      return from_routing(RoutingGraph(m));
+    }
+  }
+  PP_ASSERT_MSG(false, "unknown GraphKind");
+  return complete(n);
+}
+
+bool InteractionGraph::connected() const {
+  std::vector<bool> seen(n_, false);
+  std::queue<u32> q;
+  seen[0] = true;
+  q.push(0);
+  u64 reached = 1;
+  while (!q.empty()) {
+    const u32 u = q.front();
+    q.pop();
+    for (const u32 e : incident_[u]) {
+      const auto [a, b] = edges_[e];
+      const u32 w = (a == u) ? b : a;
+      if (!seen[w]) {
+        seen[w] = true;
+        ++reached;
+        q.push(w);
+      }
+    }
+  }
+  return reached == n_;
+}
+
+}  // namespace pp

@@ -1,0 +1,98 @@
+// General interaction topologies for the graph-restricted scheduler.
+//
+// The paper's model lets any ordered pair of agents interact (the complete
+// interaction graph).  A classic generalisation pins each agent to a vertex
+// of a fixed graph G and only lets endpoints of an edge of G interact.  This
+// module provides the standard topology zoo for that model:
+//
+//   complete   — the paper's model (sanity anchor: scheduling on it must
+//                match the uniform scheduler statistically);
+//   cycle      — the sparsest vertex-transitive connected topology;
+//   path       — a cycle with one edge removed (boundary effects);
+//   d-regular  — a uniformly random d-regular multigraph from the
+//                configuration model (pairing stubs, resampling until the
+//                result is simple), the standard expander surrogate;
+//   routing    — the paper's own cubic routing graph (§4.2) reinterpreted
+//                as an interaction topology.
+//
+// The representation is an undirected edge list plus per-vertex incidence
+// lists — exactly what the scheduler needs to (a) sample a uniformly random
+// directed edge and (b) re-examine the edges incident to the two agents
+// that just changed state.  Parallel edges are allowed (they simply carry
+// proportionally more scheduling weight); self-loops are not.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+#include "structures/routing_graph.hpp"
+
+namespace pp {
+
+enum class GraphKind {
+  kComplete,
+  kCycle,
+  kPath,
+  kRandomRegular,
+  kRouting,  ///< the paper's cubic routing graph (§4.2); needs n = m^2, m even
+};
+
+const char* graph_kind_name(GraphKind k);
+
+class InteractionGraph {
+ public:
+  /// K_n for n >= 2: the unrestricted model, n(n-1)/2 edges.
+  static InteractionGraph complete(u64 n);
+
+  /// C_n for n >= 2 (C_2 is a double edge, matching the multigraph reading
+  /// of the cycle construction in structures/routing_graph).
+  static InteractionGraph cycle(u64 n);
+
+  /// P_n for n >= 2.
+  static InteractionGraph path(u64 n);
+
+  /// Uniformly random simple d-regular graph on n vertices via the
+  /// configuration model (requires n > d >= 1 and n*d even).  The topology
+  /// depends only on (n, d, seed), never on the trial's generator, so every
+  /// trial of a sweep point runs on the same graph.
+  static InteractionGraph random_regular(u64 n, u64 d, u64 seed);
+
+  /// The paper's cubic routing graph as an interaction topology
+  /// (m^2 vertices).
+  static InteractionGraph from_routing(const RoutingGraph& g);
+
+  /// Dispatch on GraphKind (degree/seed are only read by kRandomRegular;
+  /// kRouting requires n = m^2 for an even m >= 2).
+  static InteractionGraph make(GraphKind kind, u64 n, u64 degree = 3,
+                               u64 seed = 1);
+
+  u64 num_vertices() const { return n_; }
+  u64 num_edges() const { return edges_.size(); }
+
+  /// Undirected edges as (u, v) pairs; parallel edges appear once each.
+  const std::vector<std::pair<u32, u32>>& edges() const { return edges_; }
+
+  /// Ids (into edges()) of the edges incident to v.
+  const std::vector<u32>& incident_edges(u32 v) const { return incident_[v]; }
+
+  u64 degree(u32 v) const { return incident_[v].size(); }
+
+  bool connected() const;
+
+  /// Short human-readable description, e.g. "cycle" or "random-3-regular".
+  const std::string& description() const { return description_; }
+
+ private:
+  InteractionGraph(u64 n, std::vector<std::pair<u32, u32>> edges,
+                   std::string description);
+
+  u64 n_;
+  std::vector<std::pair<u32, u32>> edges_;
+  std::vector<std::vector<u32>> incident_;
+  std::string description_;
+};
+
+}  // namespace pp

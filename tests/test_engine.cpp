@@ -267,5 +267,120 @@ TEST(Engine, RunResultContractHoldsOnEveryExitPath) {
   }
 }
 
+// A pathological Protocol with an astronomically small productive-weight /
+// pairs ratio: billions of claimed agents, productive weight pinned at 1.
+// The accelerated engine's geometric gap sampler then saturates at
+// Rng::kGeometricInfinity with probability ~1/2 per draw — in Release
+// builds the engine used to treat that sentinel as an ordinary gap length
+// (and PP_DCHECK-aborted in Debug); it must clamp to the interaction
+// budget instead.
+class SparseWeightProtocol final : public Protocol {
+ public:
+  explicit SparseWeightProtocol(u64 n) : Protocol(n, /*ranks=*/2,
+                                                  /*extra=*/1) {
+    rules_.resize(2);
+    rules_[0] = Rule{0, 1};
+    rules_[1] = Rule{1, 2};
+  }
+  std::string_view name() const override { return "sparse-weight"; }
+  std::pair<StateId, StateId> transition(StateId i, StateId r) const override {
+    if (i == 2 && r == 2) return {2, 0};  // the one productive pair class
+    return {i, r};
+  }
+
+ protected:
+  u64 extra_weight() const override { return count(2) >= 2 ? 1 : 0; }
+  void step_extra(u64 /*target*/, Rng& /*rng*/) override {
+    mutate(2, -1);
+    mutate(0, +1);
+  }
+  bool apply_cross(StateId i, StateId r) override {
+    if (i != 2 || r != 2) return false;
+    mutate(2, -1);
+    mutate(0, +1);
+    return true;
+  }
+};
+
+TEST(EngineRegression, GeometricInfinityClampsToBudget) {
+  // w / pairs = 1 / (4e9 * (4e9 - 1)) ~ 6e-20: the expected geometric gap
+  // (~1.6e19) is around the sampler's u64 saturation point, so across
+  // seeds both the saturated and the merely-huge branch are exercised.
+  const u64 n = 4'000'000'000ULL;
+  for (u64 seed = 1; seed <= 20; ++seed) {
+    SparseWeightProtocol p(n);
+    p.reset(Configuration({0, 0, n}));
+    ASSERT_EQ(p.productive_weight(), 1u);
+    Rng rng(seed);
+    RunOptions opt;
+    opt.max_interactions = 1'000'000;
+    const RunResult r = run_accelerated(p, rng, opt);
+    EXPECT_EQ(r.interactions, 1'000'000u) << seed;
+    EXPECT_EQ(r.productive_steps, 0u) << seed;
+    EXPECT_FALSE(r.silent) << seed;
+  }
+}
+
+TEST(EngineRegression, GeometricInfinityClampsToUnlimitedBudget) {
+  // Even with the default (effectively unlimited) budget the sentinel must
+  // terminate the run instead of looping or aborting.
+  SparseWeightProtocol p(4'000'000'000ULL);
+  p.reset(Configuration({0, 0, 4'000'000'000ULL}));
+  Rng rng(3);
+  const RunResult r = run_accelerated(p, rng, {});
+  EXPECT_EQ(r.interactions, ~static_cast<u64>(0));
+  EXPECT_FALSE(r.silent);
+}
+
+// ---- degenerate population sizes -----------------------------------------
+
+TEST(EngineDegenerate, SingleAgentPopulationsAreRejected) {
+  // n = 1 means zero ordered pairs: run_accelerated would divide by zero
+  // and run_uniform could never draw a pair.  The Protocol constructor
+  // rejects such populations outright, for every protocol in the registry.
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  for (const auto name : protocol_names()) {
+    // Most protocols die in the Protocol base constructor; ring-of-traps
+    // dies one step earlier, sizing its RingLayout.  Either way: a clean
+    // assert, not a NaN-driven hang.
+    EXPECT_DEATH(make_protocol(name, 1),
+                 "at least two agents|RingLayout requires n >= 2")
+        << name;
+  }
+}
+
+TEST(EngineDegenerate, MinimalPopulationsStabiliseUnderBothEngines) {
+  // The smallest supported population of every protocol (n = 2 for all but
+  // line-of-traps) must run to a valid ranking on both engines — no NaN,
+  // no hang, no assert.
+  for (const auto name : protocol_names()) {
+    const u64 n = min_population(name);
+    for (const bool accelerated : {true, false}) {
+      for (u64 seed = 1; seed <= 3; ++seed) {
+        ProtocolPtr p = make_protocol(name, n);
+        Rng rng(seed);
+        p->reset(initial::uniform_random(*p, rng));
+        const RunResult r = accelerated ? run_accelerated(*p, rng)
+                                        : run_uniform(*p, rng);
+        EXPECT_TRUE(r.silent) << name << " n=" << n;
+        EXPECT_TRUE(r.valid) << name << " n=" << n;
+        EXPECT_TRUE(std::isfinite(r.parallel_time)) << name;
+      }
+    }
+  }
+}
+
+TEST(EngineDegenerate, TwoAgentRunFromSilentStartStaysClean) {
+  AgProtocol p(2);
+  p.reset(initial::valid_ranking(p));
+  Rng rng(1);
+  for (const auto run_fn : {run_accelerated, run_uniform}) {
+    const RunResult r = run_fn(p, rng, {});
+    EXPECT_EQ(r.interactions, 0u);
+    EXPECT_TRUE(r.valid);
+    EXPECT_EQ(r.parallel_time, 0.0);
+  }
+}
+
 }  // namespace
 }  // namespace pp

@@ -1,0 +1,100 @@
+// Interaction topologies for the graph-restricted scheduler: shapes,
+// degrees, connectivity, determinism.
+#include "structures/interaction_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace pp {
+namespace {
+
+TEST(InteractionGraph, CompleteHasAllPairs) {
+  const auto g = InteractionGraph::complete(7);
+  EXPECT_EQ(g.num_vertices(), 7u);
+  EXPECT_EQ(g.num_edges(), 21u);
+  EXPECT_TRUE(g.connected());
+  for (u32 v = 0; v < 7; ++v) EXPECT_EQ(g.degree(v), 6u);
+  std::set<std::pair<u32, u32>> seen(g.edges().begin(), g.edges().end());
+  EXPECT_EQ(seen.size(), 21u) << "no duplicate edges";
+}
+
+TEST(InteractionGraph, CycleAndPathShapes) {
+  const auto c = InteractionGraph::cycle(10);
+  EXPECT_EQ(c.num_edges(), 10u);
+  EXPECT_TRUE(c.connected());
+  for (u32 v = 0; v < 10; ++v) EXPECT_EQ(c.degree(v), 2u);
+
+  const auto p = InteractionGraph::path(10);
+  EXPECT_EQ(p.num_edges(), 9u);
+  EXPECT_TRUE(p.connected());
+  EXPECT_EQ(p.degree(0), 1u);
+  EXPECT_EQ(p.degree(9), 1u);
+  for (u32 v = 1; v < 9; ++v) EXPECT_EQ(p.degree(v), 2u);
+}
+
+TEST(InteractionGraph, TwoVertexCycleIsADoubleEdge) {
+  const auto c = InteractionGraph::cycle(2);
+  EXPECT_EQ(c.num_edges(), 2u);  // parallel edges carry double weight
+  EXPECT_TRUE(c.connected());
+  EXPECT_EQ(c.degree(0), 2u);
+}
+
+TEST(InteractionGraph, RandomRegularIsSimpleAndRegular) {
+  for (const u64 d : {2, 3, 4}) {
+    const auto g = InteractionGraph::random_regular(20, d, /*seed=*/7);
+    EXPECT_EQ(g.num_edges(), 20 * d / 2);
+    for (u32 v = 0; v < 20; ++v) EXPECT_EQ(g.degree(v), d) << "d=" << d;
+    std::set<std::pair<u32, u32>> seen;
+    for (const auto& [u, v] : g.edges()) {
+      EXPECT_LT(u, v);
+      EXPECT_TRUE(seen.insert({u, v}).second) << "parallel edge";
+    }
+  }
+}
+
+TEST(InteractionGraph, RandomRegularIsDeterministicInSeed) {
+  const auto a = InteractionGraph::random_regular(24, 3, 11);
+  const auto b = InteractionGraph::random_regular(24, 3, 11);
+  const auto c = InteractionGraph::random_regular(24, 3, 12);
+  EXPECT_EQ(a.edges(), b.edges());
+  EXPECT_NE(a.edges(), c.edges()) << "different seeds, different topology";
+}
+
+TEST(InteractionGraph, FromRoutingKeepsCubicStructure) {
+  const RoutingGraph rg(4);  // 16 vertices, cubic
+  const auto g = InteractionGraph::from_routing(rg);
+  EXPECT_EQ(g.num_vertices(), 16u);
+  EXPECT_EQ(g.num_edges(), 16u * 3 / 2);
+  EXPECT_TRUE(g.connected());
+  for (u32 v = 0; v < 16; ++v) EXPECT_EQ(g.degree(v), 3u);
+}
+
+TEST(InteractionGraph, IncidenceListsMatchEdgeList) {
+  const auto g = InteractionGraph::random_regular(12, 3, 5);
+  for (u32 v = 0; v < g.num_vertices(); ++v) {
+    for (const u32 e : g.incident_edges(v)) {
+      const auto [a, b] = g.edges()[e];
+      EXPECT_TRUE(a == v || b == v);
+    }
+  }
+}
+
+TEST(InteractionGraph, MakeDispatches) {
+  EXPECT_EQ(InteractionGraph::make(GraphKind::kComplete, 5).num_edges(), 10u);
+  EXPECT_EQ(InteractionGraph::make(GraphKind::kCycle, 5).num_edges(), 5u);
+  EXPECT_EQ(InteractionGraph::make(GraphKind::kPath, 5).num_edges(), 4u);
+  EXPECT_EQ(InteractionGraph::make(GraphKind::kRandomRegular, 6, 3, 1)
+                .num_edges(),
+            9u);
+  // The paper's cubic routing graph, reachable by kind: n = m^2 = 16.
+  const auto r = InteractionGraph::make(GraphKind::kRouting, 16);
+  EXPECT_EQ(r.num_vertices(), 16u);
+  EXPECT_EQ(r.num_edges(), 24u);
+  EXPECT_EQ(r.description(), "routing");
+  EXPECT_TRUE(r.connected());
+}
+
+}  // namespace
+}  // namespace pp

@@ -1,0 +1,415 @@
+// The pluggable scheduler subsystem (src/schedulers/).
+//
+// The load-bearing guarantees:
+//   * UniformScheduler / AcceleratedUniformScheduler reproduce the
+//     pre-refactor run_uniform / run_accelerated trajectories seed-for-seed
+//     (bit-identical, pinned by hard-coded regression values);
+//   * GraphRestrictedScheduler on the complete graph is the uniform
+//     scheduler in disguise — statistically indistinguishable mean
+//     stabilisation times (KS-style check as in test_engine.cpp);
+//   * the matching and graph-restricted models behave sanely on every
+//     protocol (stabilise where the topology allows, report locally-stuck
+//     configurations where it does not).
+#include "schedulers/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/initial.hpp"
+#include "protocols/ag.hpp"
+#include "protocols/factory.hpp"
+#include "runner/runner.hpp"
+#include "runner/sink.hpp"
+#include "schedulers/graph_restricted.hpp"
+#include "schedulers/random_matching.hpp"
+#include "schedulers/uniform.hpp"
+
+namespace pp {
+namespace {
+
+// Pre-refactor trajectory pins for AG n=16, uniform_random start, seed 42
+// (see PinnedTrajectoryRegression below).
+constexpr u64 kPinnedUniformInteractions = 1522;
+constexpr u64 kPinnedUniformProductive = 29;
+constexpr u64 kPinnedAcceleratedInteractions = 1543;
+constexpr u64 kPinnedAcceleratedProductive = 29;
+
+RunResult run_via(const Scheduler& s, std::string_view proto, u64 n, u64 seed,
+                  const RunOptions& opt = {}) {
+  ProtocolPtr p = make_protocol(proto, n);
+  Rng rng(seed);
+  p->reset(initial::uniform_random(*p, rng));
+  return s.run(*p, rng, opt);
+}
+
+// ---- bit-identical delegation --------------------------------------------
+
+TEST(SchedulerUniform, BitIdenticalToRunUniform) {
+  const UniformScheduler sched;
+  for (u64 seed = 1; seed <= 5; ++seed) {
+    AgProtocol a(24), b(24);
+    Rng ra(seed), rb(seed);
+    a.reset(initial::uniform_random(a, ra));
+    b.reset(initial::uniform_random(b, rb));
+    const RunResult legacy = run_uniform(a, ra);
+    const RunResult via = sched.run(b, rb);
+    EXPECT_EQ(legacy.interactions, via.interactions) << seed;
+    EXPECT_EQ(legacy.productive_steps, via.productive_steps) << seed;
+    EXPECT_EQ(a.counts(), b.counts()) << seed;
+    EXPECT_EQ(ra.bits(), rb.bits()) << "generators diverged, seed " << seed;
+  }
+}
+
+TEST(SchedulerUniform, AcceleratedBitIdenticalToRunAccelerated) {
+  const AcceleratedUniformScheduler sched;
+  for (u64 seed = 1; seed <= 5; ++seed) {
+    ProtocolPtr a = make_protocol("tree-ranking", 32);
+    ProtocolPtr b = make_protocol("tree-ranking", 32);
+    Rng ra(seed), rb(seed);
+    a->reset(initial::uniform_random(*a, ra));
+    b->reset(initial::uniform_random(*b, rb));
+    const RunResult legacy = run_accelerated(*a, ra);
+    const RunResult via = sched.run(*b, rb);
+    EXPECT_EQ(legacy.interactions, via.interactions) << seed;
+    EXPECT_EQ(legacy.productive_steps, via.productive_steps) << seed;
+    EXPECT_EQ(a->counts(), b->counts()) << seed;
+    EXPECT_EQ(ra.bits(), rb.bits()) << "generators diverged, seed " << seed;
+  }
+}
+
+// Pinned pre-refactor trajectories: these literals were recorded from the
+// engines as they stood before the scheduler extraction.  If either engine
+// (or anything upstream of it: Rng, initial::, the AG rule table) changes
+// its draw sequence, this fails — that is the point.
+TEST(SchedulerUniform, PinnedTrajectoryRegression) {
+  const UniformScheduler uniform;
+  const AcceleratedUniformScheduler accelerated;
+  const RunResult u = run_via(uniform, "ag", 16, /*seed=*/42);
+  EXPECT_TRUE(u.valid);
+  EXPECT_EQ(u.interactions, kPinnedUniformInteractions);
+  EXPECT_EQ(u.productive_steps, kPinnedUniformProductive);
+  const RunResult a = run_via(accelerated, "ag", 16, /*seed=*/42);
+  EXPECT_TRUE(a.valid);
+  EXPECT_EQ(a.interactions, kPinnedAcceleratedInteractions);
+  EXPECT_EQ(a.productive_steps, kPinnedAcceleratedProductive);
+}
+
+// ---- pp::run dispatch -----------------------------------------------------
+
+TEST(SchedulerDispatch, NullSchedulerMeansAccelerated) {
+  AgProtocol a(20), b(20);
+  Rng ra(9), rb(9);
+  a.reset(initial::uniform_random(a, ra));
+  b.reset(initial::uniform_random(b, rb));
+  const RunResult direct = run_accelerated(a, ra);
+  const RunResult dispatched = run(b, rb, {});
+  EXPECT_EQ(direct.interactions, dispatched.interactions);
+  EXPECT_EQ(direct.productive_steps, dispatched.productive_steps);
+}
+
+TEST(SchedulerDispatch, RunUsesTheInstalledScheduler) {
+  const RandomMatchingScheduler matching;
+  AgProtocol p(20);
+  Rng rng(10);
+  p.reset(initial::uniform_random(p, rng));
+  RunOptions opt;
+  opt.scheduler = &matching;
+  const RunResult r = run(p, rng, opt);
+  EXPECT_TRUE(r.silent);
+  EXPECT_TRUE(r.valid);
+  // Matching parallel time counts rounds: at most interactions / floor(n/2)
+  // rounds can have elapsed, far below interactions / 1.
+  EXPECT_LE(r.parallel_time,
+            static_cast<double>(r.interactions) / (20 / 2) + 1.0);
+}
+
+// ---- random matching ------------------------------------------------------
+
+TEST(SchedulerMatching, StabilisesEveryProtocol) {
+  const RandomMatchingScheduler sched;
+  for (const auto name : protocol_names()) {
+    const u64 n = preferred_population(name, 48);
+    const RunResult r = run_via(sched, name, n, /*seed=*/3);
+    EXPECT_TRUE(r.silent) << name;
+    EXPECT_TRUE(r.valid) << name;
+    EXPECT_GE(r.interactions, r.productive_steps) << name;
+    EXPECT_GT(r.parallel_time, 0.0) << name;
+  }
+}
+
+TEST(SchedulerMatching, OddPopulationLeavesOneAgentIdle) {
+  const RandomMatchingScheduler sched;
+  const RunResult r = run_via(sched, "ag", 17, /*seed=*/4);
+  EXPECT_TRUE(r.valid);
+  // 17 agents -> 8 meetings per round; interactions must be consistent
+  // with an integer number of rounds at 8 meetings each (the final round
+  // may be cut short only by silence, never mid-round here).
+  EXPECT_EQ(r.interactions % 8, 0u);
+  EXPECT_DOUBLE_EQ(r.parallel_time, static_cast<double>(r.interactions) / 8);
+}
+
+TEST(SchedulerMatching, RespectsInteractionBudget) {
+  const RandomMatchingScheduler sched;
+  RunOptions opt;
+  opt.max_interactions = 100;
+  const RunResult r = run_via(sched, "ag", 64, /*seed=*/5, opt);
+  EXPECT_EQ(r.interactions, 100u);
+  EXPECT_FALSE(r.silent);
+}
+
+TEST(SchedulerMatching, MatchesUniformEngineStatistically) {
+  // The matching model fires the same rules under a different meeting
+  // process; on the complete meeting structure the *productive step count*
+  // to silence should be statistically close to the uniform scheduler's
+  // (the embedded jump chains are close for AG, whose productive pairs are
+  // state-symmetric).  Generous 30% band, means over 40 trials.
+  const RandomMatchingScheduler sched;
+  const u64 n = 24;
+  const int kTrials = 40;
+  double matching_steps = 0, uniform_steps = 0;
+  for (int t = 0; t < kTrials; ++t) {
+    matching_steps += static_cast<double>(
+        run_via(sched, "ag", n, 3000 + t).productive_steps);
+    AgProtocol p(n);
+    Rng rng(700000 + t);
+    p.reset(initial::uniform_random(p, rng));
+    uniform_steps += static_cast<double>(run_uniform(p, rng).productive_steps);
+  }
+  EXPECT_NEAR(matching_steps / uniform_steps, 1.0, 0.30);
+}
+
+// ---- graph-restricted -----------------------------------------------------
+
+TEST(SchedulerGraph, CompleteGraphMatchesUniformStatistically) {
+  // The central equivalence: restricting to the complete graph is no
+  // restriction, so mean stabilisation times must agree with run_uniform
+  // within the same tolerance test_engine.cpp uses for the engines.
+  const u64 n = 24;
+  const int kTrials = 60;
+  auto graph = std::make_shared<const InteractionGraph>(
+      InteractionGraph::complete(n));
+  for (const bool accelerated : {true, false}) {
+    const GraphRestrictedScheduler sched(graph, accelerated);
+    double graph_time = 0, uniform_time = 0;
+    for (int t = 0; t < kTrials; ++t) {
+      const RunResult r = run_via(sched, "ag", n, 4000 + t);
+      EXPECT_TRUE(r.valid);
+      graph_time += r.parallel_time;
+      AgProtocol p(n);
+      Rng rng(800000 + t);
+      p.reset(initial::uniform_random(p, rng));
+      uniform_time += run_uniform(p, rng).parallel_time;
+    }
+    EXPECT_NEAR(graph_time / uniform_time, 1.0, 0.25)
+        << (accelerated ? "accelerated" : "naive");
+  }
+}
+
+TEST(SchedulerGraph, AcceleratedMatchesNaiveOnSparseGraph) {
+  // Null-skipping must be exact on restricted topologies too: naive and
+  // accelerated paths on the same cycle agree on the distribution of
+  // productive work and of getting stuck.
+  const u64 n = 16;
+  const int kTrials = 80;
+  auto graph =
+      std::make_shared<const InteractionGraph>(InteractionGraph::cycle(n));
+  double steps[2] = {0, 0};
+  int stuck[2] = {0, 0};
+  for (const bool accelerated : {true, false}) {
+    const GraphRestrictedScheduler sched(graph, accelerated);
+    for (int t = 0; t < kTrials; ++t) {
+      const RunResult r = run_via(sched, "ag", n, 5000 + t);
+      steps[accelerated] += static_cast<double>(r.productive_steps);
+      stuck[accelerated] += r.silent ? 0 : 1;
+    }
+  }
+  EXPECT_NEAR(steps[1] / steps[0], 1.0, 0.25);
+  EXPECT_NEAR(static_cast<double>(stuck[1]) / kTrials,
+              static_cast<double>(stuck[0]) / kTrials, 0.25);
+}
+
+TEST(SchedulerGraph, CycleStrandsMostRuns) {
+  // Non-stabilisation under sparse topologies is the phenomenon this
+  // scheduler exposes: a locally stuck run terminates (no hang), reports
+  // silent = false, and the protocol still has global productive weight.
+  const u64 n = 32;
+  auto graph =
+      std::make_shared<const InteractionGraph>(InteractionGraph::cycle(n));
+  const GraphRestrictedScheduler sched(graph, /*accelerated=*/true);
+  int stranded = 0;
+  for (int t = 0; t < 10; ++t) {
+    ProtocolPtr p = make_protocol("ag", n);
+    Rng rng(6000 + t);
+    p->reset(initial::uniform_random(*p, rng));
+    const RunResult r = sched.run(*p, rng, {});
+    if (!r.silent) {
+      ++stranded;
+      EXPECT_FALSE(r.valid);
+      EXPECT_GT(p->productive_weight(), 0u)
+          << "stuck means locally stuck, not globally silent";
+    } else {
+      EXPECT_TRUE(r.valid);
+    }
+  }
+  EXPECT_GE(stranded, 5) << "a cycle should strand most random AG starts";
+}
+
+TEST(SchedulerGraph, SparseTopologiesTerminateCleanlyOnTreeRanking) {
+  // Self-stabilising *ranking* fundamentally needs global meetings: the
+  // end-game duplicates of a nearly ranked population are rarely adjacent
+  // in a sparse graph, so even an expander strands most runs — a genuine
+  // model property, not a bug.  What the scheduler owes us: every run
+  // terminates (no hang), its extra-state/orientation-sensitive rules do
+  // fire through apply_pair, and the outcome is classified correctly —
+  // silent implies a valid ranking, stuck implies global productive weight
+  // remains.
+  const u64 n = 32;
+  auto graph = std::make_shared<const InteractionGraph>(
+      InteractionGraph::random_regular(n, 4, /*seed=*/2));
+  const GraphRestrictedScheduler sched(graph, /*accelerated=*/true);
+  u64 productive = 0;
+  for (int t = 0; t < 10; ++t) {
+    ProtocolPtr p = make_protocol("tree-ranking", n);
+    Rng rng(7000 + t);
+    p->reset(initial::uniform_random(*p, rng));
+    const RunResult r = sched.run(*p, rng, {});
+    productive += r.productive_steps;
+    if (r.silent) {
+      EXPECT_TRUE(r.valid);
+    } else {
+      EXPECT_GT(p->productive_weight(), 0u);
+    }
+  }
+  EXPECT_GT(productive, 0u) << "the buffer-line rules never fired at all";
+}
+
+TEST(SchedulerGraph, CompleteGraphStabilisesTreeRanking) {
+  // On the complete graph nothing is restricted, so the tree protocol's
+  // extra states and orientation-sensitive R4 rule must carry it to a
+  // valid ranking through apply_pair exactly as under the engines.
+  const u64 n = 32;
+  auto graph = std::make_shared<const InteractionGraph>(
+      InteractionGraph::complete(n));
+  const GraphRestrictedScheduler sched(graph, /*accelerated=*/true);
+  for (int t = 0; t < 5; ++t) {
+    const RunResult r = run_via(sched, "tree-ranking", n, 7100 + t);
+    EXPECT_TRUE(r.silent) << t;
+    EXPECT_TRUE(r.valid) << t;
+  }
+}
+
+TEST(SchedulerGraph, RespectsInteractionBudget) {
+  const u64 n = 16;
+  auto graph = std::make_shared<const InteractionGraph>(
+      InteractionGraph::random_regular(n, 4, /*seed=*/3));
+  for (const bool accelerated : {true, false}) {
+    const GraphRestrictedScheduler sched(graph, accelerated);
+    RunOptions opt;
+    opt.max_interactions = 50;
+    const RunResult r = run_via(sched, "ag", n, /*seed=*/8, opt);
+    EXPECT_LE(r.interactions, 50u);
+    EXPECT_GE(r.interactions, r.productive_steps);
+  }
+}
+
+// ---- factory + runner wiring ---------------------------------------------
+
+TEST(SchedulerFactory, BuildsEveryKindWithMatchingNames) {
+  for (const SchedulerKind kind : scheduler_kinds()) {
+    SchedulerSpec spec;
+    spec.kind = kind;
+    const SchedulerPtr s = make_scheduler(spec, 12);
+    ASSERT_NE(s, nullptr);
+    if (kind == SchedulerKind::kGraphRestricted) {
+      EXPECT_EQ(s->name(), "graph-restricted[complete]");
+      EXPECT_EQ(spec.to_string(), "graph-restricted[complete]");
+    } else {
+      EXPECT_EQ(s->name(), scheduler_kind_name(kind));
+      EXPECT_EQ(spec.to_string(), scheduler_kind_name(kind));
+    }
+  }
+  SchedulerSpec rr;
+  rr.kind = SchedulerKind::kGraphRestricted;
+  rr.graph = GraphKind::kRandomRegular;
+  rr.degree = 4;
+  EXPECT_EQ(rr.to_string(), "graph-restricted[random-4-regular]");
+  EXPECT_EQ(make_scheduler(rr, 12)->name(),
+            "graph-restricted[random-4-regular]");
+}
+
+TEST(SchedulerRunner, ScheduledAcceleratedUniformIsBitIdenticalToEngine) {
+  // The runner path through EngineKind::kScheduled + accelerated-uniform
+  // must give the very same records as EngineKind::kAccelerated — the
+  // acceptance bar for the refactor at the runner level.
+  TrialSpec engine_spec;
+  engine_spec.protocol = "ag";
+  engine_spec.n = 32;
+  engine_spec.label = "sched-equiv";
+  engine_spec.engine = EngineKind::kAccelerated;
+
+  TrialSpec sched_spec = engine_spec;
+  sched_spec.engine = EngineKind::kScheduled;
+  sched_spec.scheduler.kind = SchedulerKind::kAcceleratedUniform;
+
+  RunnerOptions opt;
+  opt.trials = 16;
+  opt.threads = 2;
+  const TrialSet a = run_trials(engine_spec, opt);
+  const TrialSet b = run_trials(sched_spec, opt);
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (u64 t = 0; t < a.records.size(); ++t) {
+    EXPECT_EQ(a.records[t].seed, b.records[t].seed) << t;
+    EXPECT_EQ(a.records[t].interactions, b.records[t].interactions) << t;
+    EXPECT_EQ(a.records[t].productive_steps, b.records[t].productive_steps)
+        << t;
+    EXPECT_EQ(a.records[t].parallel_time, b.records[t].parallel_time) << t;
+  }
+}
+
+TEST(SchedulerRunner, SinkRecordsNameTheConcreteScheduler) {
+  // A bare engine:"scheduled" would make every scheduler variant
+  // serialize identically; records must carry the interaction model.
+  TrialSpec spec;
+  spec.protocol = "ag";
+  spec.n = 12;
+  spec.label = "sink-detail";
+  spec.engine = EngineKind::kScheduled;
+  spec.scheduler.kind = SchedulerKind::kGraphRestricted;
+  spec.scheduler.graph = GraphKind::kCycle;
+  RunnerOptions opt;
+  opt.trials = 2;
+  opt.threads = 1;
+  const TrialSet set = run_trials(spec, opt);
+
+  std::ostringstream json, csv;
+  JsonlSink(json).write_aggregate(spec, set);
+  CsvSink(csv).write_trials(spec, set);
+  EXPECT_NE(json.str().find("\"engine\":\"graph-restricted[cycle]\""),
+            std::string::npos)
+      << json.str();
+  EXPECT_NE(csv.str().find(",graph-restricted[cycle],"), std::string::npos)
+      << csv.str();
+}
+
+TEST(SchedulerRunner, MatchingAndGraphRunThroughTheRunner) {
+  for (const SchedulerKind kind :
+       {SchedulerKind::kRandomMatching, SchedulerKind::kGraphRestricted}) {
+    TrialSpec spec;
+    spec.protocol = "ag";
+    spec.n = 24;
+    spec.label = "sched-runner";
+    spec.engine = EngineKind::kScheduled;
+    spec.scheduler.kind = kind;
+    RunnerOptions opt;
+    opt.trials = 8;
+    opt.threads = 4;
+    const TrialSet set = run_trials(spec, opt);
+    EXPECT_EQ(set.stats.trials, 8u);
+    EXPECT_EQ(set.stats.timeouts, 0u) << scheduler_kind_name(kind);
+    EXPECT_EQ(set.stats.invalid, 0u) << scheduler_kind_name(kind);
+  }
+}
+
+}  // namespace
+}  // namespace pp
