@@ -1,5 +1,5 @@
-// S1 — scheduler comparison: the same protocols under four interaction
-// models (src/schedulers/).
+// S1 — scheduler comparison: the same protocols under every interaction
+// model in the standard menu (src/schedulers/).
 //
 // The paper's complexity claims are stated for the uniform random
 // scheduler.  This bench exercises every protocol under the pluggable
@@ -11,6 +11,15 @@
 //   random-matching        synchronous rounds of random maximal matchings
 //                          (parallel time = rounds, so roughly half the
 //                          uniform model's interactions/n measure);
+//   churn[...]             uniform pairs plus a transient-fault storm
+//                          (agents teleported to random states) that stops
+//                          after 50 n ticks — stabilisation time includes
+//                          recovering from every fault, so expect a
+//                          constant-factor premium over uniform;
+//   partition[...]         the population is split into non-interacting
+//                          blocks for 3 split/heal cycles (cross-block
+//                          meetings are dropped as nulls) before healing
+//                          for good — the split phases delay global repair;
 //   graph-restricted[...]  interactions restricted to the edges of a fixed
 //                          topology: complete (must match uniform), a
 //                          random 4-regular expander surrogate and the
@@ -21,6 +30,10 @@
 //                          most runs ("unstab." counts locally stuck +
 //                          budget-exhausted trials).  That stranding is
 //                          the phenomenon on display, not a bug.
+//
+// The adversarial schedulers are deliberately absent here (O(states^2) per
+// step makes them a small-n tool); bench_adversarial drives them through
+// the same runner path and BENCH record format.
 //
 // Every (protocol × scheduler × n) point goes through the parallel runner
 // and appends one BENCH json record, so the perf trajectory tracks all
@@ -88,8 +101,10 @@ int run(const Context& ctx) {
       "(rounds); \"unstab.\" counts budget exhaustion AND locally-stuck "
       "graph-restricted runs.  Expect uniform == accelerated-uniform == "
       "graph-restricted[complete] statistically, matching about half the "
-      "uniform measure, and both sparse topologies stranding most runs "
-      "(ranking needs global meetings).\n");
+      "uniform measure, churn and partition a constant factor above uniform "
+      "(recovery from faults / split phases is part of the measured time), "
+      "and both sparse topologies stranding most runs (ranking needs "
+      "global meetings).\n");
   return 0;
 }
 

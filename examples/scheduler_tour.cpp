@@ -1,12 +1,16 @@
-// Scheduler tour — one protocol, four interaction models.
+// Scheduler tour — one protocol, every interaction model in the standard
+// menu (uniform flavours, random matching, churn, partition, and the
+// graph-restricted topologies).
 //
 // Runs the chosen protocol from the same random starting configuration
-// seed under every scheduler in src/schedulers/ and prints what each model
-// does to stabilisation.  The interesting contrast: every complete-mixing
-// model ranks the population, while sparse graph-restricted topologies
-// (cycle, random regular) usually strand it — two agents left in the same
+// seed under each scheduler and prints what the model does to
+// stabilisation.  The interesting contrasts: every complete-mixing model
+// ranks the population — churn and partition merely pay a premium for the
+// fault storm / split phases — while sparse graph-restricted topologies
+// (cycle, random regular) usually strand it: two agents left in the same
 // state interact only if they happen to be adjacent, and near the end of
-// a ranking they rarely are.
+// a ranking they rarely are.  The adversarial schedulers are a small-n
+// analysis tool; see bench_adversarial.
 //
 //   $ ./scheduler_tour [protocol] [n] [seed]
 #include <cstdio>

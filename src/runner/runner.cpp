@@ -14,8 +14,6 @@ const char* engine_kind_name(EngineKind k) {
       return "accelerated";
     case EngineKind::kUniform:
       return "uniform";
-    case EngineKind::kAdversarial:
-      return "adversarial";
     case EngineKind::kScheduled:
       return "scheduled";
   }
@@ -83,9 +81,6 @@ TrialRecord run_one_trial_impl(const TrialSpec& spec, u64 trial_index,
       r = run_uniform(*p, rng, ro);
       break;
     }
-    case EngineKind::kAdversarial:
-      r = run_adversarial(*p, spec.adversary, rng, spec.max_interactions);
-      break;
     case EngineKind::kScheduled: {
       SchedulerPtr own;
       const Scheduler* s = shared_scheduler;
@@ -104,6 +99,7 @@ TrialRecord run_one_trial_impl(const TrialSpec& spec, u64 trial_index,
   rec.seed = seed;
   rec.interactions = r.interactions;
   rec.productive_steps = r.productive_steps;
+  rec.fault_events = r.fault_events;
   rec.parallel_time = r.parallel_time;
   rec.silent = r.silent;
   rec.valid = r.valid;

@@ -3,9 +3,10 @@
 // A TrialSpec describes one measurement point: which protocol to build
 // (factory-registry name or an explicit factory), how to generate the
 // starting configuration, which engine drives the schedule (accelerated /
-// uniform / one of the adversarial schedulers from core/adversary), and the
-// interaction budget.  run_trials() fans `trials` independent copies out
-// over a ThreadPool and returns per-trial records plus merged aggregates.
+// uniform / any interaction model from src/schedulers — hostile ones
+// included), and the interaction budget.  run_trials() fans `trials`
+// independent copies out over a ThreadPool and returns per-trial records
+// plus merged aggregates.
 //
 // Determinism guarantee.  Trial t's generator is seeded with
 // derive_seed(master_seed, label, t) — exactly the derivation the legacy
@@ -21,7 +22,6 @@
 
 #include "analysis/experiment.hpp"
 #include "analysis/stats.hpp"
-#include "core/adversary.hpp"
 #include "core/engine.hpp"
 #include "core/protocol.hpp"
 #include "runner/seed_stream.hpp"
@@ -33,7 +33,6 @@ namespace pp {
 enum class EngineKind {
   kAccelerated,  ///< exact geometric null-skipping (the default)
   kUniform,      ///< faithful one-interaction-at-a-time reference engine
-  kAdversarial,  ///< hostile scheduler; see TrialSpec::adversary
   kScheduled,    ///< pluggable interaction model; see TrialSpec::scheduler
 };
 
@@ -52,15 +51,15 @@ struct TrialSpec {
   ConfigGenerator init;
 
   EngineKind engine = EngineKind::kAccelerated;
-  AdversaryPolicy adversary = AdversaryPolicy::kRandomProductive;
 
   /// Interaction model for EngineKind::kScheduled (plain data — each trial
   /// builds its scheduler from this and the resolved population size, so
-  /// specs stay copyable and threads share nothing mutable).
+  /// specs stay copyable and threads share nothing mutable).  Hostile
+  /// models (adversarial, churn, partition) run through this path too.
   SchedulerSpec scheduler;
 
-  /// Budget: scheduler interactions for the random engines, productive
-  /// firings for the adversarial ones.
+  /// Budget on scheduler interactions (for the adversarial schedulers that
+  /// is productive firings — they have no null steps).
   u64 max_interactions = ~static_cast<u64>(0);
 
   /// Seed-derivation namespace; specs with different labels draw
@@ -77,6 +76,7 @@ struct TrialRecord {
   u64 seed = 0;   ///< the derived per-trial seed (for replaying one trial)
   u64 interactions = 0;
   u64 productive_steps = 0;
+  u64 fault_events = 0;  ///< environmental faults injected (churn only)
   double parallel_time = 0;
   bool silent = false;
   bool valid = false;

@@ -81,7 +81,7 @@ void CsvSink::set_mode(Mode m) {
   mode_ = m;
   if (m == Mode::kTrials) {
     *out_ << "label,protocol,n,engine,trial,seed,parallel_time,interactions,"
-             "productive_steps,silent,valid\n";
+             "productive_steps,fault_events,silent,valid\n";
   } else {
     *out_ << "label,protocol,n,engine,trials,threads,timeouts,invalid,"
              "mean_parallel_time,stddev_parallel_time,min_parallel_time,"
@@ -97,8 +97,8 @@ void CsvSink::write_trials(const TrialSpec& spec, const TrialSet& set) {
   for (const TrialRecord& r : set.records) {
     *out_ << prefix << r.trial << "," << r.seed << ","
           << fmt(r.parallel_time) << "," << r.interactions << ","
-          << r.productive_steps << "," << (r.silent ? 1 : 0) << ","
-          << (r.valid ? 1 : 0) << "\n";
+          << r.productive_steps << "," << r.fault_events << ","
+          << (r.silent ? 1 : 0) << "," << (r.valid ? 1 : 0) << "\n";
   }
   out_->flush();
 }
@@ -134,6 +134,7 @@ void JsonlSink::write_trials(const TrialSpec& spec, const TrialSet& set) {
           << ",\"parallel_time\":" << fmt(r.parallel_time)
           << ",\"interactions\":" << r.interactions
           << ",\"productive_steps\":" << r.productive_steps
+          << ",\"fault_events\":" << r.fault_events
           << ",\"silent\":" << (r.silent ? "true" : "false")
           << ",\"valid\":" << (r.valid ? "true" : "false") << "}\n";
   }

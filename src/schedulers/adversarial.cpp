@@ -1,4 +1,4 @@
-#include "core/adversary.hpp"
+#include "schedulers/adversarial.hpp"
 
 #include <algorithm>
 #include <vector>
@@ -42,27 +42,22 @@ i64 rank_coverage_delta(const std::vector<u64>& counts, u64 num_ranks,
 
 }  // namespace
 
-const char* adversary_policy_name(AdversaryPolicy p) {
-  switch (p) {
-    case AdversaryPolicy::kRandomProductive: return "random-productive";
-    case AdversaryPolicy::kMaxLoad: return "max-load";
-    case AdversaryPolicy::kMinRankCoverage: return "min-rank-coverage";
-    case AdversaryPolicy::kStubborn: return "stubborn";
-  }
-  return "?";
-}
+AdversarialScheduler::AdversarialScheduler(AdversaryPolicy policy)
+    : policy_(policy),
+      name_(std::string("adversarial[") + adversary_policy_name(policy) +
+            "]") {}
 
-RunResult run_adversarial(Protocol& p, AdversaryPolicy policy, Rng& rng,
-                          u64 max_steps) {
+RunResult AdversarialScheduler::run(Protocol& p, Rng& rng,
+                                    const RunOptions& opt) const {
   const u64 states = p.num_states();
   const u64 num_ranks = p.num_ranks();
-  std::vector<u64> counts = p.counts();
 
   RunResult r;
   std::vector<Candidate> candidates;
   StateId stubborn_s1 = kNoState, stubborn_s2 = kNoState;
 
-  for (; r.interactions < max_steps; ++r.interactions) {
+  while (r.interactions < opt.max_interactions) {
+    const std::vector<u64>& counts = p.counts();
     candidates.clear();
     u64 total_weight = 0;
     for (StateId s1 = 0; s1 < states; ++s1) {
@@ -79,7 +74,7 @@ RunResult run_adversarial(Protocol& p, AdversaryPolicy policy, Rng& rng,
     if (candidates.empty()) break;  // silent
 
     const Candidate* pick = nullptr;
-    switch (policy) {
+    switch (policy_) {
       case AdversaryPolicy::kRandomProductive: {
         u64 t = rng.below(total_weight);
         for (const auto& c : candidates) {
@@ -127,21 +122,22 @@ RunResult run_adversarial(Protocol& p, AdversaryPolicy policy, Rng& rng,
       }
     }
     PP_ASSERT(pick != nullptr);
-    --counts[pick->s1];
-    --counts[pick->s2];
-    ++counts[pick->o1];
-    ++counts[pick->o2];
+    // apply_pair keeps the protocol's counts/Fenwick bookkeeping live the
+    // whole run (the retired run_adversarial worked on a local count vector
+    // and published once at the end) — same δ, same trajectory, but the
+    // observer sees a consistent protocol after every firing.
+    p.apply_pair(pick->s1, pick->s2);
+    ++r.interactions;
     ++r.productive_steps;
+    if (opt.on_change && !opt.on_change(p, r.interactions)) {
+      r.aborted = true;
+      break;
+    }
   }
 
-  // Publish the final configuration back into the protocol object so the
-  // caller can inspect it with the usual accessors.
-  p.reset(Configuration(counts));
-  r.silent = p.is_silent();
-  r.valid = p.is_valid_ranking();
-  r.parallel_time = static_cast<double>(r.interactions) /
-                    static_cast<double>(p.num_agents());
-  return r;
+  return detail::finish_run(p, r,
+                            static_cast<double>(r.interactions) /
+                                static_cast<double>(p.num_agents()));
 }
 
 }  // namespace pp

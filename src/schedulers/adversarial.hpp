@@ -1,11 +1,12 @@
-// Adversarial schedulers.
+// Adversarial schedulers behind the Scheduler interface.
 //
 // The paper's guarantees are stated for the uniform random scheduler.  A
 // natural robustness question for a library user: what happens under a
 // *hostile* scheduler that still makes progress (always fires some
 // productive pair) but chooses which one maliciously?  This module
 // implements a family of greedy adversaries over the protocol's formal
-// transition function δ:
+// transition function δ (the policies are enumerated by AdversaryPolicy in
+// schedulers/scheduler.hpp):
 //
 //   kRandomProductive  uniform among productive pairs (the embedded jump
 //                      chain of the random scheduler — baseline);
@@ -20,33 +21,40 @@
 // Interesting facts these expose (see tests/test_adversary.cpp and
 // bench_adversarial): AG and the ring protocol stabilise under *every*
 // such adversary (their progress measures are schedule-independent), while
-// the tree protocol's reset loop can be dragged out by kMinRankCoverage —
-// the whp bound genuinely needs the scheduler's randomness.
+// the line protocol admits infinite productive schedules — the whp bound
+// genuinely needs the scheduler's randomness.
+//
+// This is the Scheduler port of the retired core/adversary.cpp entry point
+// (run_adversarial): the candidate enumeration, the policy tie-breaking and
+// the generator consumption are unchanged, so trajectories are bit-identical
+// seed-for-seed — tests/test_adversary.cpp pins them with values recorded
+// from the pre-port implementation.  The budget is RunOptions::
+// max_interactions, counted in *productive* firings (the adversary never
+// fires a null step), so interactions == productive_steps always.
 //
 // Enumeration is O(states^2) per step, so this is a small-n analysis tool,
 // not a performance path.
 #pragma once
 
-#include "core/engine.hpp"
-#include "core/protocol.hpp"
+#include <string>
+
+#include "schedulers/scheduler.hpp"
 
 namespace pp {
 
-enum class AdversaryPolicy {
-  kRandomProductive,
-  kMaxLoad,
-  kMinRankCoverage,
-  kStubborn,
+class AdversarialScheduler final : public Scheduler {
+ public:
+  explicit AdversarialScheduler(AdversaryPolicy policy);
+
+  std::string_view name() const override { return name_; }
+  AdversaryPolicy policy() const { return policy_; }
+
+  RunResult run(Protocol& p, Rng& rng,
+                const RunOptions& opt = {}) const override;
+
+ private:
+  AdversaryPolicy policy_;
+  std::string name_;  // "adversarial[<policy>]"
 };
-
-const char* adversary_policy_name(AdversaryPolicy p);
-
-/// Runs the protocol under the chosen adversary until silence or until
-/// `max_steps` *productive* steps have fired (there are no null steps —
-/// the adversary always fires a productive pair while one exists).
-/// RunResult::interactions counts productive firings; parallel_time is
-/// firings / n (a lower bound on any scheduler's parallel time).
-RunResult run_adversarial(Protocol& p, AdversaryPolicy policy, Rng& rng,
-                          u64 max_steps = 1'000'000);
 
 }  // namespace pp

@@ -1,0 +1,84 @@
+#include "schedulers/churn.hpp"
+
+#include "common/assert.hpp"
+#include "core/configuration.hpp"
+
+namespace pp {
+
+ChurnScheduler::ChurnScheduler(double rate, u64 faults, u64 active,
+                               ChurnReset reset)
+    : rate_(rate), faults_(faults), active_(active), reset_(reset) {
+  PP_ASSERT_MSG(rate >= 0.0 && rate <= 1.0, "churn rate must be in [0, 1]");
+  PP_ASSERT_MSG(faults >= 1, "a churn event must teleport at least 1 agent");
+  SchedulerSpec spec;
+  spec.kind = SchedulerKind::kChurn;
+  spec.churn_rate = rate;
+  spec.churn_faults = faults;
+  spec.churn_active = active;
+  spec.churn_reset = reset;
+  name_ = spec.to_string();
+}
+
+RunResult ChurnScheduler::run(Protocol& p, Rng& rng,
+                              const RunOptions& opt) const {
+  const u64 n = p.num_agents();
+  PP_ASSERT_MSG(n >= 2, "churn scheduler needs n >= 2 (no pairs otherwise)");
+  const u64 storm_ticks = active_ != 0 ? active_ : 50 * n;
+
+  RunResult r;
+  while (r.interactions < storm_ticks &&
+         r.interactions < opt.max_interactions) {
+    ++r.interactions;
+    bool changed;
+    if (rng.bernoulli(rate_)) {
+      // Fault event: teleport faults_ uniformly random agents.  Agents are
+      // anonymous, so "a uniform agent" is a state sampled with probability
+      // proportional to its count.
+      Configuration c = p.configuration();
+      for (u64 f = 0; f < faults_; ++f) {
+        u64 t = rng.below(n);
+        StateId victim = 0;
+        while (t >= c.counts[victim]) {
+          t -= c.counts[victim];
+          ++victim;
+        }
+        StateId target = 0;
+        switch (reset_) {
+          case ChurnReset::kUniformState:
+            target = static_cast<StateId>(rng.below(p.num_states()));
+            break;
+          case ChurnReset::kUniformRank:
+            target = static_cast<StateId>(rng.below(p.num_ranks()));
+            break;
+          case ChurnReset::kStateZero:
+            target = 0;
+            break;
+        }
+        --c.counts[victim];
+        ++c.counts[target];
+      }
+      changed = c.counts != p.counts();
+      if (changed) p.reset(c);
+      ++r.fault_events;
+      // A fault is environmental, never a productive step of the protocol.
+    } else {
+      changed = p.step_uniform(rng);
+      if (changed) ++r.productive_steps;
+    }
+    if (changed && opt.on_change && !opt.on_change(p, r.interactions)) {
+      r.aborted = true;
+      return detail::finish_run(p, r,
+                                static_cast<double>(r.interactions) /
+                                    static_cast<double>(n));
+    }
+  }
+
+  // The storm is over: run clean to silence on the remaining budget, with
+  // exact null-skipping (the storm phase is the only part that needs
+  // tick-by-tick simulation).
+  detail::run_clean_tail(p, rng, opt, r);
+  return detail::finish_run(
+      p, r, static_cast<double>(r.interactions) / static_cast<double>(n));
+}
+
+}  // namespace pp

@@ -1,0 +1,54 @@
+// Churn: transient faults as a first-class interaction model.
+//
+// Self-stabilisation means "converges from every configuration once the
+// faults stop".  This scheduler makes the fault process part of the
+// schedule instead of an observer hack in the tests: for a bounded storm
+// phase, every scheduler tick is either
+//
+//   * (probability 1 - rate) one uniform random pair interaction — the
+//     paper's model, simulated faithfully; or
+//   * (probability rate) a fault event that teleports `faults` agents
+//     (chosen uniformly, with multiplicity) to states drawn from a
+//     configurable reset distribution (ChurnReset) — the kill/respawn of
+//     an agent whose memory is re-initialised arbitrarily.
+//
+// After `active` ticks the storm stops and the run continues *clean* under
+// the accelerated uniform engine until silence or budget exhaustion, so a
+// churn run ends exactly like the fault-storm tests always did: abuse, then
+// prove recovery.  active = 0 resolves to 50 n at run time (a storm long
+// enough to hit a stabilised population many times over).
+//
+// Accounting: RunResult::interactions counts ticks (fault events occupy a
+// scheduler slot, null meetings included); productive_steps counts only
+// δ-driven configuration changes; fault_events counts the injected faults
+// (so tests can assert the storm actually corrupted the run);
+// parallel_time = ticks / n.
+#pragma once
+
+#include <string>
+
+#include "schedulers/scheduler.hpp"
+
+namespace pp {
+
+class ChurnScheduler final : public Scheduler {
+ public:
+  /// rate: per-tick fault probability in [0, 1]; faults: agents teleported
+  /// per event (>= 1); active: storm length in ticks (0 = 50 n); reset:
+  /// where teleported agents land.
+  ChurnScheduler(double rate, u64 faults, u64 active, ChurnReset reset);
+
+  std::string_view name() const override { return name_; }
+
+  RunResult run(Protocol& p, Rng& rng,
+                const RunOptions& opt = {}) const override;
+
+ private:
+  double rate_;
+  u64 faults_;
+  u64 active_;
+  ChurnReset reset_;
+  std::string name_;  // "churn[<rate>{x<faults>}/<reset>]"
+};
+
+}  // namespace pp

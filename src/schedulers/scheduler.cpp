@@ -1,7 +1,12 @@
 #include "schedulers/scheduler.hpp"
 
+#include <cstdio>
+
 #include "common/assert.hpp"
+#include "schedulers/adversarial.hpp"
+#include "schedulers/churn.hpp"
 #include "schedulers/graph_restricted.hpp"
+#include "schedulers/partition.hpp"
 #include "schedulers/random_matching.hpp"
 #include "schedulers/uniform.hpp"
 
@@ -24,13 +29,52 @@ const char* scheduler_kind_name(SchedulerKind k) {
       return "random-matching";
     case SchedulerKind::kGraphRestricted:
       return "graph-restricted";
+    case SchedulerKind::kAdversarial:
+      return "adversarial";
+    case SchedulerKind::kChurn:
+      return "churn";
+    case SchedulerKind::kPartition:
+      return "partition";
   }
   return "?";
 }
 
 std::vector<SchedulerKind> scheduler_kinds() {
   return {SchedulerKind::kAcceleratedUniform, SchedulerKind::kUniform,
-          SchedulerKind::kRandomMatching, SchedulerKind::kGraphRestricted};
+          SchedulerKind::kRandomMatching,     SchedulerKind::kGraphRestricted,
+          SchedulerKind::kAdversarial,        SchedulerKind::kChurn,
+          SchedulerKind::kPartition};
+}
+
+const char* adversary_policy_name(AdversaryPolicy p) {
+  switch (p) {
+    case AdversaryPolicy::kRandomProductive:
+      return "random-productive";
+    case AdversaryPolicy::kMaxLoad:
+      return "max-load";
+    case AdversaryPolicy::kMinRankCoverage:
+      return "min-rank-coverage";
+    case AdversaryPolicy::kStubborn:
+      return "stubborn";
+  }
+  return "?";
+}
+
+std::vector<AdversaryPolicy> adversary_policies() {
+  return {AdversaryPolicy::kRandomProductive, AdversaryPolicy::kMaxLoad,
+          AdversaryPolicy::kMinRankCoverage, AdversaryPolicy::kStubborn};
+}
+
+const char* churn_reset_name(ChurnReset r) {
+  switch (r) {
+    case ChurnReset::kUniformState:
+      return "uniform-state";
+    case ChurnReset::kUniformRank:
+      return "uniform-rank";
+    case ChurnReset::kStateZero:
+      return "state-zero";
+  }
+  return "?";
 }
 
 std::vector<SchedulerSpec> standard_scheduler_menu() {
@@ -41,6 +85,10 @@ std::vector<SchedulerSpec> standard_scheduler_menu() {
   s.kind = SchedulerKind::kUniform;
   menu.push_back(s);
   s.kind = SchedulerKind::kRandomMatching;
+  menu.push_back(s);
+  s.kind = SchedulerKind::kChurn;
+  menu.push_back(s);
+  s.kind = SchedulerKind::kPartition;
   menu.push_back(s);
   s.kind = SchedulerKind::kGraphRestricted;
   s.graph = GraphKind::kComplete;
@@ -53,18 +101,70 @@ std::vector<SchedulerSpec> standard_scheduler_menu() {
   return menu;
 }
 
+std::vector<SchedulerSpec> all_scheduler_specs() {
+  std::vector<SchedulerSpec> specs = standard_scheduler_menu();
+  SchedulerSpec s;
+  s.kind = SchedulerKind::kAdversarial;
+  for (const AdversaryPolicy policy : adversary_policies()) {
+    s.adversary = policy;
+    specs.push_back(s);
+  }
+  s = SchedulerSpec{};
+  s.kind = SchedulerKind::kChurn;
+  for (const ChurnReset reset : {ChurnReset::kUniformRank,
+                                 ChurnReset::kStateZero}) {
+    s.churn_reset = reset;  // kUniformState is already in the menu
+    specs.push_back(s);
+  }
+  s = SchedulerSpec{};
+  s.kind = SchedulerKind::kPartition;
+  s.partition_blocks = 3;  // the 2-block default is already in the menu
+  specs.push_back(s);
+  return specs;
+}
+
 std::string SchedulerSpec::to_string() const {
-  if (kind != SchedulerKind::kGraphRestricted) {
-    return scheduler_kind_name(kind);
+  switch (kind) {
+    case SchedulerKind::kGraphRestricted: {
+      std::string out = "graph-restricted[";
+      if (graph == GraphKind::kRandomRegular) {
+        out += "random-" + std::to_string(degree) + "-regular";
+      } else {
+        out += graph_kind_name(graph);
+      }
+      out += "]";
+      return out;
+    }
+    case SchedulerKind::kAdversarial:
+      return std::string("adversarial[") + adversary_policy_name(adversary) +
+             "]";
+    case SchedulerKind::kChurn: {
+      // No commas: the name doubles as a CSV cell in the sinks.  Every
+      // knob that deviates from its default is encoded, so two distinct
+      // specs never share a display name (parameter sweeps rely on it).
+      char rate[32];
+      std::snprintf(rate, sizeof(rate), "%g", churn_rate);
+      std::string out = std::string("churn[") + rate;
+      if (churn_faults != 1) out += "x" + std::to_string(churn_faults);
+      out += std::string("/") + churn_reset_name(churn_reset);
+      if (churn_active != 0) out += "/a" + std::to_string(churn_active);
+      out += "]";
+      return out;
+    }
+    case SchedulerKind::kPartition: {
+      std::string out = "partition[" + std::to_string(partition_blocks) +
+                        "-blocks";
+      if (partition_split != 0) out += "/s" + std::to_string(partition_split);
+      if (partition_heal != 0) out += "/h" + std::to_string(partition_heal);
+      if (partition_cycles != 3) {
+        out += "/c" + std::to_string(partition_cycles);
+      }
+      out += "]";
+      return out;
+    }
+    default:
+      return scheduler_kind_name(kind);
   }
-  std::string out = "graph-restricted[";
-  if (graph == GraphKind::kRandomRegular) {
-    out += "random-" + std::to_string(degree) + "-regular";
-  } else {
-    out += graph_kind_name(graph);
-  }
-  out += "]";
-  return out;
 }
 
 SchedulerPtr make_scheduler(const SchedulerSpec& spec, u64 n) {
@@ -81,12 +181,43 @@ SchedulerPtr make_scheduler(const SchedulerSpec& spec, u64 n) {
       return std::make_unique<GraphRestrictedScheduler>(
           std::move(graph), spec.graph_accelerated);
     }
+    case SchedulerKind::kAdversarial:
+      return std::make_unique<AdversarialScheduler>(spec.adversary);
+    case SchedulerKind::kChurn:
+      return std::make_unique<ChurnScheduler>(spec.churn_rate,
+                                              spec.churn_faults,
+                                              spec.churn_active,
+                                              spec.churn_reset);
+    case SchedulerKind::kPartition:
+      return std::make_unique<PartitionScheduler>(
+          spec.partition_blocks, spec.partition_split, spec.partition_heal,
+          spec.partition_cycles);
   }
   PP_ASSERT_MSG(false, "unknown SchedulerKind");
   return nullptr;
 }
 
 namespace detail {
+
+void run_clean_tail(Protocol& p, Rng& rng, const RunOptions& opt,
+                    RunResult& r) {
+  if (r.aborted || p.is_silent() || r.interactions >= opt.max_interactions) {
+    return;
+  }
+  RunOptions tail;
+  tail.max_interactions = opt.max_interactions - r.interactions;
+  if (opt.on_change) {
+    const u64 base = r.interactions;
+    const auto& outer = opt.on_change;
+    tail.on_change = [&outer, base](const Protocol& q, u64 k) {
+      return outer(q, base + k);
+    };
+  }
+  const RunResult clean = run_accelerated(p, rng, tail);
+  r.interactions += clean.interactions;
+  r.productive_steps += clean.productive_steps;
+  r.aborted = clean.aborted;
+}
 
 RunResult finish_run(const Protocol& p, RunResult r, double parallel_time) {
   r.silent = p.is_silent();

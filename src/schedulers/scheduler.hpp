@@ -25,7 +25,23 @@
 //                        *directed edge*.  An accelerated path intersects
 //                        the protocol's productive weight with the edge set
 //                        and skips null steps geometrically, exactly like
-//                        the accelerated uniform engine.
+//                        the accelerated uniform engine;
+//   adversarial          a hostile-but-productive scheduler: every step
+//                        fires some productive pair, chosen greedily by an
+//                        AdversaryPolicy (schedulers/adversarial.hpp) —
+//                        the worst-case counterpart of the random models;
+//   churn                uniform random pairs interleaved with transient
+//                        faults: for a bounded storm phase each tick is,
+//                        with configurable probability, a fault event that
+//                        teleports agents to states drawn from a reset
+//                        distribution; after the storm the run continues
+//                        clean to silence (self-stabilisation is exactly
+//                        "converges once the faults stop");
+//   partition            the population is split into non-interacting
+//                        blocks on a schedule (meetings across blocks are
+//                        dropped as null), alternating split and healed
+//                        phases for a configured number of cycles, then
+//                        runs healed to silence.
 //
 // Parallel-time accounting per scheduler (RunResult::parallel_time):
 //   uniform / accelerated-uniform / graph-restricted:  interactions / n
@@ -33,13 +49,22 @@
 //                     parallel time; RunResult::interactions still counts
 //                     individual pair meetings, nulls included, and the
 //                     interaction budget is spent in that currency).
+//   adversarial:      productive firings / n (there are no null steps — a
+//                     lower bound on any scheduler's parallel time);
+//   churn:            ticks / n, where a tick is one uniform interaction
+//                     or one fault event (faults occupy a scheduler slot
+//                     but never count as productive steps);
+//   partition:        interactions / n, blocked cross-partition meetings
+//                     included as null interactions.
 //
 // Termination.  Every scheduler stops at silence (productive_weight() == 0)
 // or on budget/observer abort.  The graph-restricted scheduler additionally
 // stops when no *edge* of its graph is productive while distant pairs still
 // would be ("locally stuck") — the run then reports silent = false, which
 // is exactly how non-stabilisation under a restricted topology shows up in
-// the aggregates.
+// the aggregates.  The adversarial scheduler stops when no productive pair
+// exists (true silence) or when the budget runs out (the adversary found an
+// infinite productive schedule — reported as silent = false).
 //
 // Scheduler objects hold only immutable configuration (e.g. a shared
 // topology); all per-run state lives inside run(), so one instance can be
@@ -80,12 +105,38 @@ enum class SchedulerKind {
   kAcceleratedUniform,
   kRandomMatching,
   kGraphRestricted,
+  kAdversarial,
+  kChurn,
+  kPartition,
 };
 
 const char* scheduler_kind_name(SchedulerKind k);
 
 /// All kinds, default (accelerated uniform) first.
 std::vector<SchedulerKind> scheduler_kinds();
+
+/// The greedy adversary variants behind SchedulerKind::kAdversarial; the
+/// implementations live in schedulers/adversarial.{hpp,cpp}.
+enum class AdversaryPolicy {
+  kRandomProductive,  ///< uniform among productive pairs (honest jump chain)
+  kMaxLoad,           ///< fire inside the most-loaded state
+  kMinRankCoverage,   ///< minimise the number of occupied rank states
+  kStubborn,          ///< keep firing the same state pair while possible
+};
+
+const char* adversary_policy_name(AdversaryPolicy p);
+
+/// All policies, honest baseline first.
+std::vector<AdversaryPolicy> adversary_policies();
+
+/// Where a churn fault teleports an agent.
+enum class ChurnReset {
+  kUniformState,  ///< uniform over all states (generic memory corruption)
+  kUniformRank,   ///< uniform over rank states only
+  kStateZero,     ///< always state 0 (pile-up faults)
+};
+
+const char* churn_reset_name(ChurnReset r);
 
 /// Everything needed to build a scheduler for a population of known size —
 /// the runner's TrialSpec carries one of these (plain data, copyable across
@@ -101,7 +152,27 @@ struct SchedulerSpec {
   u64 graph_seed = 1;  ///< kRandomRegular only
   bool graph_accelerated = true;  ///< null-skipping fast path
 
-  /// Display name, e.g. "graph-restricted[random-3-regular]".
+  /// kAdversarial only: which greedy policy picks the productive pair.
+  AdversaryPolicy adversary = AdversaryPolicy::kRandomProductive;
+
+  /// kChurn only: per-tick fault probability during the storm phase, how
+  /// many agents each fault event teleports, the storm length in ticks
+  /// (0 = 50 n, resolved per run), and the reset distribution.
+  double churn_rate = 0.02;
+  u64 churn_faults = 1;
+  u64 churn_active = 0;
+  ChurnReset churn_reset = ChurnReset::kUniformState;
+
+  /// kPartition only: number of non-interacting blocks, phase lengths in
+  /// interactions (0 = 20 n, resolved per run), and how many split/heal
+  /// cycles run before the population is left healed.
+  u64 partition_blocks = 2;
+  u64 partition_split = 0;
+  u64 partition_heal = 0;
+  u64 partition_cycles = 3;
+
+  /// Display name, e.g. "graph-restricted[random-3-regular]",
+  /// "adversarial[max-load]", "churn[0.02/uniform-state]".
   std::string to_string() const;
 };
 
@@ -110,9 +181,19 @@ SchedulerPtr make_scheduler(const SchedulerSpec& spec, u64 n);
 
 /// The standard comparison menu (bench_scheduler_comparison and
 /// examples/scheduler_tour share it): accelerated-uniform, uniform,
-/// random-matching, then graph-restricted on complete, random-4-regular
-/// and cycle — complete mixing first, sparsest last.
+/// random-matching, the hostile-environment models (churn, partition), then
+/// graph-restricted on complete, random-4-regular and cycle — complete
+/// mixing first, sparsest last.  The adversarial schedulers are excluded
+/// (O(states^2) per step makes them a small-n tool; bench_adversarial
+/// covers them).
 std::vector<SchedulerSpec> standard_scheduler_menu();
+
+/// One spec per registered scheduler variant — the standard menu plus all
+/// four adversaries, the remaining churn reset distributions and a second
+/// partition block count.  This is the conformance suite's roster
+/// (tests/test_scheduler_conformance.cpp): every entry must honour the
+/// shared Scheduler contract on every protocol.
+std::vector<SchedulerSpec> all_scheduler_specs();
 
 namespace detail {
 
@@ -120,6 +201,14 @@ namespace detail {
 /// from the protocol, installs the scheduler-specific parallel time and
 /// enforces the engine result contract.
 RunResult finish_run(const Protocol& p, RunResult r, double parallel_time);
+
+/// Shared tail of the fault-model schedulers (churn, partition): once the
+/// hostile phase is over, runs `p` clean to silence under the accelerated
+/// uniform engine on the budget remaining in `opt`, with the observer
+/// offset by the interactions already elapsed, and merges the counters
+/// into `r`.  No-op if `r` is aborted or the budget is spent.
+void run_clean_tail(Protocol& p, Rng& rng, const RunOptions& opt,
+                    RunResult& r);
 
 }  // namespace detail
 }  // namespace pp

@@ -111,6 +111,7 @@ bool records_equal(const std::vector<TrialRecord>& a,
     if (a[i].trial != b[i].trial || a[i].seed != b[i].seed ||
         a[i].interactions != b[i].interactions ||
         a[i].productive_steps != b[i].productive_steps ||
+        a[i].fault_events != b[i].fault_events ||
         a[i].parallel_time != b[i].parallel_time ||
         a[i].silent != b[i].silent || a[i].valid != b[i].valid) {
       return false;
@@ -216,8 +217,11 @@ TEST(Runner, UniformAndAdversarialEnginesRun) {
   EXPECT_EQ(uni.stats.timeouts, 0u);
   EXPECT_EQ(uni.stats.invalid, 0u);
 
-  spec.engine = EngineKind::kAdversarial;
-  spec.adversary = AdversaryPolicy::kMaxLoad;
+  // Hostile models go through the same scheduler path as everything else
+  // (EngineKind::kAdversarial is retired).
+  spec.engine = EngineKind::kScheduled;
+  spec.scheduler.kind = SchedulerKind::kAdversarial;
+  spec.scheduler.adversary = AdversaryPolicy::kMaxLoad;
   const TrialSet adv = run_trials(spec, opt);
   EXPECT_EQ(adv.stats.timeouts, 0u);
   for (const TrialRecord& r : adv.records) {

@@ -321,13 +321,12 @@ TEST(SchedulerFactory, BuildsEveryKindWithMatchingNames) {
     spec.kind = kind;
     const SchedulerPtr s = make_scheduler(spec, 12);
     ASSERT_NE(s, nullptr);
-    if (kind == SchedulerKind::kGraphRestricted) {
-      EXPECT_EQ(s->name(), "graph-restricted[complete]");
-      EXPECT_EQ(spec.to_string(), "graph-restricted[complete]");
-    } else {
-      EXPECT_EQ(s->name(), scheduler_kind_name(kind));
-      EXPECT_EQ(spec.to_string(), scheduler_kind_name(kind));
-    }
+    // The built scheduler and the spec agree on the display name, and the
+    // name always leads with the kind (parameterised kinds decorate it,
+    // e.g. "adversarial[random-productive]").
+    EXPECT_EQ(s->name(), spec.to_string());
+    EXPECT_EQ(spec.to_string().rfind(scheduler_kind_name(kind), 0), 0u)
+        << spec.to_string();
   }
   SchedulerSpec rr;
   rr.kind = SchedulerKind::kGraphRestricted;
@@ -336,6 +335,33 @@ TEST(SchedulerFactory, BuildsEveryKindWithMatchingNames) {
   EXPECT_EQ(rr.to_string(), "graph-restricted[random-4-regular]");
   EXPECT_EQ(make_scheduler(rr, 12)->name(),
             "graph-restricted[random-4-regular]");
+  SchedulerSpec adv;
+  adv.kind = SchedulerKind::kAdversarial;
+  adv.adversary = AdversaryPolicy::kMaxLoad;
+  EXPECT_EQ(adv.to_string(), "adversarial[max-load]");
+  EXPECT_EQ(make_scheduler(adv, 12)->name(), "adversarial[max-load]");
+  SchedulerSpec churn;
+  churn.kind = SchedulerKind::kChurn;
+  churn.churn_rate = 0.05;
+  churn.churn_faults = 3;
+  churn.churn_reset = ChurnReset::kStateZero;
+  EXPECT_EQ(churn.to_string(), "churn[0.05x3/state-zero]");
+  EXPECT_EQ(make_scheduler(churn, 12)->name(), "churn[0.05x3/state-zero]");
+  SchedulerSpec part;
+  part.kind = SchedulerKind::kPartition;
+  part.partition_blocks = 4;
+  EXPECT_EQ(part.to_string(), "partition[4-blocks]");
+  EXPECT_EQ(make_scheduler(part, 12)->name(), "partition[4-blocks]");
+  // Non-default storm/phase knobs are encoded too, so specs differing only
+  // in those never collide in BENCH records or conformance labels.
+  churn.churn_active = 777;
+  EXPECT_EQ(churn.to_string(), "churn[0.05x3/state-zero/a777]");
+  EXPECT_EQ(make_scheduler(churn, 12)->name(), churn.to_string());
+  part.partition_split = 100;
+  part.partition_heal = 50;
+  part.partition_cycles = 5;
+  EXPECT_EQ(part.to_string(), "partition[4-blocks/s100/h50/c5]");
+  EXPECT_EQ(make_scheduler(part, 12)->name(), part.to_string());
 }
 
 TEST(SchedulerRunner, ScheduledAcceleratedUniformIsBitIdenticalToEngine) {
