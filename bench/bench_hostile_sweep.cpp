@@ -1,0 +1,125 @@
+// S2 — hostile-environment parameter sweep: how much abuse does a
+// protocol absorb before the constant-factor premium turns into
+// non-stabilisation within a budget?
+//
+// The standard menu runs the churn and partition models at one default
+// knob setting each; this bench sweeps the hostile axes themselves:
+//
+//   churn      rate × burst grid: per-tick fault probability
+//              {0.005, 0.02, 0.08} × agents teleported per fault event
+//              {1, 4, 16}, uniform-state resets, the default 50 n-tick
+//              storm.  The measured stabilisation time *includes*
+//              recovering from every fault — self-stabilisation's
+//              constant-factor premium — until the fault inflow
+//              outpaces repair and trials start exhausting the budget
+//              ("unstab.");
+//   partition  block count {2, 3, 4, 8}: the population is split into b
+//              non-interacting blocks for the default 3 split/heal
+//              cycles.  More blocks mean smaller islands that rank
+//              locally but must reconcile globally on every heal.
+//
+// Every (protocol × point) goes through the parallel runner and appends
+// one BENCH json record with the swept knob in the `param` column, so the
+// perf trajectory tracks the whole grid, not just the defaults.
+#include "bench_common.hpp"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "protocols/factory.hpp"
+#include "schedulers/scheduler.hpp"
+
+namespace pp::bench {
+namespace {
+
+int run(const Context& ctx) {
+  const u64 trials = ctx.trials_or(ctx.quick() ? 8 : 25);
+  const u64 raw_n = ctx.quick() ? 32 : ctx.full() ? 128 : 64;
+  const char* protocols[] = {"ag", "tree-ranking"};
+
+  const double churn_rates[] = {0.005, 0.02, 0.08};
+  const u64 churn_bursts[] = {1, 4, 16};
+  const u64 partition_blocks[] = {2, 3, 4, 8};
+
+  for (const char* proto : protocols) {
+    const u64 n = preferred_population(proto, raw_n);
+    // Generous whp headroom over the paper's uniform-scheduler bounds:
+    // points that a knob setting genuinely breaks show up in "unstab.",
+    // they don't hang the bench.
+    const u64 budget = 20 * n * n * n;
+    const std::string name = proto;
+    const auto run_spec = [&](const SchedulerSpec& sched, double param,
+                              Table& t) {
+      const std::string sched_name = sched.to_string();
+      TrialSpec spec = make_spec(
+          std::string("s2-") + proto + "-" + sched_name, n,
+          [name, n] { return make_protocol(name, n); },
+          gen_uniform_random(), budget);
+      spec.protocol = name;  // descriptive only
+      spec.engine = EngineKind::kScheduled;
+      spec.scheduler = sched;
+      const TrialSet set =
+          run_trials(spec, runner_options(ctx, trials), *ctx.pool);
+      warn_if_invalid(set, spec.label);
+      emit_bench_json(ctx, spec.label, n, param, set);
+      const Summary sum = set.summary();
+      t.row()
+          .cell(sched_name)
+          .cell(n)
+          .cell(sum.mean, 5)
+          .cell(sum.ci95_halfwidth(), 3)
+          .cell(sum.median, 5)
+          .cell(sum.q95, 5)
+          .cell(set.stats.timeouts)
+          .cell(set.trials_per_sec, 4);
+    };
+
+    Table churn(std::string("S2 churn sweep — ") + proto + " (rate x burst, " +
+                std::to_string(trials) + " trials/point)");
+    churn.headers({"scheduler", "n", "mean time", "ci95", "median", "q95",
+                   "unstab.", "trials/s"});
+    for (const double rate : churn_rates) {
+      for (const u64 burst : churn_bursts) {
+        SchedulerSpec s;
+        s.kind = SchedulerKind::kChurn;
+        s.churn_rate = rate;
+        s.churn_faults = burst;
+        // param encodes the grid point as rate * burst — the expected
+        // fault inflow per tick, the axis the stabilisation premium
+        // actually tracks.
+        run_spec(s, rate * static_cast<double>(burst), churn);
+      }
+    }
+    emit(ctx, churn);
+
+    Table part(std::string("S2 partition sweep — ") + proto + " (blocks, " +
+               std::to_string(trials) + " trials/point)");
+    part.headers({"scheduler", "n", "mean time", "ci95", "median", "q95",
+                  "unstab.", "trials/s"});
+    for (const u64 blocks : partition_blocks) {
+      SchedulerSpec s;
+      s.kind = SchedulerKind::kPartition;
+      s.partition_blocks = blocks;
+      run_spec(s, static_cast<double>(blocks), part);
+    }
+    emit(ctx, part);
+  }
+  std::printf(
+      "axes: churn param = rate x burst (expected teleported agents per "
+      "tick); partition param = block count.  Stabilisation time includes "
+      "fault recovery / post-heal reconciliation; \"unstab.\" counts trials "
+      "that exhausted the budget.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace pp::bench
+
+int main(int argc, char** argv) {
+  const auto ctx = pp::bench::init(
+      argc, argv, "S2: hostile-environment parameter sweep",
+      "Robustness axis: churn rate x fault burst and partition block count "
+      "against stabilisation time.");
+  return pp::bench::run(ctx);
+}

@@ -11,6 +11,13 @@
 //   random-matching        synchronous rounds of random maximal matchings
 //                          (parallel time = rounds, so roughly half the
 //                          uniform model's interactions/n measure);
+//   weighted[...]          pair selection from a weight kernel on the
+//                          Fenwick-backed sampler layer: uniform weights
+//                          (sanity anchor: must match uniform) and the
+//                          spatial ring-decay kernel, whose distance-
+//                          decaying meeting rates slow ranking by a
+//                          log-factor premium without ever severing a
+//                          pair;
 //   churn[...]             uniform pairs plus a transient-fault storm
 //                          (agents teleported to random states) that stops
 //                          after 50 n ticks — stabilisation time includes
@@ -29,7 +36,15 @@
 //                          sparse graph — so both sparse topologies strand
 //                          most runs ("unstab." counts locally stuck +
 //                          budget-exhausted trials).  That stranding is
-//                          the phenomenon on display, not a bug.
+//                          the phenomenon on display, not a bug;
+//   dynamic[cycle/...]     the SAME sparse cycle made dynamic, both ways:
+//                          edge-Markovian birth/death flips at cycle-
+//                          matched stationary sparsity, and periodic
+//                          rewiring every n steps.  Where the static
+//                          cycle strands, both dynamics deliver every run
+//                          to silence at a constant-factor premium — the
+//                          headline contrast (ranking needs mixing, not
+//                          density), pinned by tests/test_weighted_dynamic.
 //
 // The adversarial schedulers are deliberately absent here (O(states^2) per
 // step makes them a small-n tool); bench_adversarial drives them through
@@ -100,11 +115,13 @@ int run(const Context& ctx) {
       "model notes: parallel time is interactions/n except random-matching "
       "(rounds); \"unstab.\" counts budget exhaustion AND locally-stuck "
       "graph-restricted runs.  Expect uniform == accelerated-uniform == "
-      "graph-restricted[complete] statistically, matching about half the "
-      "uniform measure, churn and partition a constant factor above uniform "
-      "(recovery from faults / split phases is part of the measured time), "
-      "and both sparse topologies stranding most runs (ranking needs "
-      "global meetings).\n");
+      "weighted[uniform] == graph-restricted[complete] statistically, "
+      "matching about half the uniform measure, churn / partition / "
+      "weighted[ring-decay] a constant-to-log factor above uniform, both "
+      "sparse static topologies stranding most runs (ranking needs global "
+      "meetings) — and the dynamic[cycle/...] rows, the same cycle with "
+      "edge churn or periodic rewiring, stabilising every run: mixing, "
+      "not density, is what ranking needs.\n");
   return 0;
 }
 

@@ -1,16 +1,20 @@
 // Scheduler tour — one protocol, every interaction model in the standard
-// menu (uniform flavours, random matching, churn, partition, and the
-// graph-restricted topologies).
+// menu (uniform flavours, random matching, weighted kernels, churn,
+// partition, the graph-restricted topologies and the dynamic graphs).
 //
 // Runs the chosen protocol from the same random starting configuration
 // seed under each scheduler and prints what the model does to
 // stabilisation.  The interesting contrasts: every complete-mixing model
 // ranks the population — churn and partition merely pay a premium for the
-// fault storm / split phases — while sparse graph-restricted topologies
-// (cycle, random regular) usually strand it: two agents left in the same
-// state interact only if they happen to be adjacent, and near the end of
-// a ranking they rarely are.  The adversarial schedulers are a small-n
-// analysis tool; see bench_adversarial.
+// fault storm / split phases, the spatial weighted[ring-decay] kernel for
+// its distance-decaying meeting rates — while sparse graph-restricted
+// topologies (cycle, random regular) usually strand it: two agents left
+// in the same state interact only if they happen to be adjacent, and near
+// the end of a ranking they rarely are.  The dynamic[cycle/...] rows then
+// close the argument: the same sparse cycle with edge-Markovian churn or
+// periodic rewiring stabilises every run — ranking needs mixing, not
+// density.  The adversarial schedulers are a small-n analysis tool; see
+// bench_adversarial.
 //
 //   $ ./scheduler_tour [protocol] [n] [seed]
 #include <cstdio>
@@ -55,6 +59,9 @@ int main(int argc, char** argv) {
   std::printf(
       "\nparallel time: interactions/n, except random-matching (rounds).\n"
       "silent=no under a sparse graph means the run got locally stuck —\n"
-      "the protocol's progress needs meetings the topology never offers.\n");
+      "the protocol's progress needs meetings the topology never offers.\n"
+      "the dynamic[cycle/...] rows are the same cycle with edge-Markovian\n"
+      "churn / periodic rewiring: local stuckness passes, silence is "
+      "reached.\n");
   return 0;
 }

@@ -1,5 +1,7 @@
 #include "ds/fenwick.hpp"
 
+#include <utility>
+
 namespace pp {
 
 void Fenwick::reset(u64 size) {
@@ -9,6 +11,23 @@ void Fenwick::reset(u64 size) {
   leaf_.assign(n_, 0);
   log2n_ = 1;
   while (log2n_ * 2 <= n_) log2n_ *= 2;
+}
+
+void Fenwick::assign(std::vector<u64> weights) {
+  n_ = weights.size();
+  leaf_ = std::move(weights);
+  tree_.assign(n_ + 1, 0);
+  total_ = 0;
+  log2n_ = 1;
+  while (log2n_ * 2 <= n_) log2n_ *= 2;
+  // Linear-time construction: push each node's accumulated sum to its
+  // parent once, in index order.
+  for (u64 i = 1; i <= n_; ++i) {
+    tree_[i] += leaf_[i - 1];
+    total_ += leaf_[i - 1];
+    const u64 parent = i + (i & (~i + 1));
+    if (parent <= n_) tree_[parent] += tree_[i];
+  }
 }
 
 void Fenwick::add(u64 i, i64 delta) {

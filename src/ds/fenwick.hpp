@@ -25,6 +25,13 @@ class Fenwick {
   /// Re-initialises to `size` zero weights.
   void reset(u64 size);
 
+  /// Re-initialises to hold `weights` verbatim (taken by value: callers
+  /// move, the vector becomes the leaf mirror).  O(n) — each internal
+  /// node is accumulated once — versus the O(n log n) of reset() + n
+  /// add()s; the schedulers' pair-sampler layer builds Θ(n^2)-slot trees
+  /// per run and leans on the difference.
+  void assign(std::vector<u64> weights);
+
   u64 size() const { return n_; }
 
   /// Sum of all weights.

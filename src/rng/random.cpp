@@ -55,6 +55,36 @@ u64 Rng::geometric_failures(double p) {
   return static_cast<u64>(f);
 }
 
+u64 Rng::geometric_failures_truncated(double p, u64 bound) {
+  PP_ASSERT_MSG(p > 0.0 && bound >= 1,
+                "truncated geometric needs p > 0 and a non-empty range");
+  if (p >= 1.0 || bound == 1) return 0;
+  // Inversion of P(X <= k | X < bound) = (1 - q^(k+1)) / (1 - q^bound):
+  // draw u uniform, return floor(log(1 - u * (1 - q^bound)) / log q).
+  const double log_q = std::log1p(-p);
+  // 1 - q^bound, computed as -expm1(bound * log q) to keep precision when
+  // q^bound is close to 1 (tiny p * bound).
+  const double mass = -std::expm1(static_cast<double>(bound) * log_q);
+  const double u = real01();
+  const double f = std::floor(std::log1p(-u * mass) / log_q);
+  const u64 k = f > 0.0 ? static_cast<u64>(f) : 0;
+  return k < bound ? k : bound - 1;  // guard against floating-point spill
+}
+
+u64 Rng::binomial(u64 m, double p) {
+  if (m == 0 || p <= 0.0) return 0;
+  if (p >= 1.0) return m;
+  if (p > 0.5) return m - binomial(m, 1.0 - p);
+  u64 successes = 0;
+  u64 remaining = m;
+  while (true) {
+    const u64 gap = geometric_failures(p);
+    if (gap == kGeometricInfinity || gap >= remaining) return successes;
+    remaining -= gap + 1;
+    ++successes;
+  }
+}
+
 std::pair<u64, u64> Rng::ordered_pair(u64 n) {
   PP_DCHECK(n >= 2);
   const u64 a = below(n);

@@ -48,6 +48,21 @@ class Rng {
   /// configuration as silent before asking).
   u64 geometric_failures(double p);
 
+  /// Number of consecutive failures before the first success, conditioned
+  /// on a success occurring within the first `bound` trials — a
+  /// Geometric(p) variate truncated to [0, bound).  Requires p in (0, 1]
+  /// and bound >= 1.  Sampled by inversion of the truncated CDF, so it
+  /// costs one uniform draw (no rejection loop even for tiny p * bound —
+  /// the dynamic-graph scheduler leans on that to place the first edge
+  /// flip of a step already known to contain one).
+  u64 geometric_failures_truncated(double p, u64 bound);
+
+  /// Number of successes among `m` independent Bernoulli(p) trials.
+  /// Expected O(1 + m * min(p, 1-p)) time by jumping between successes
+  /// with geometric_failures — exact, and fast precisely in the sparse
+  /// regime (m * p small) where the edge-Markovian dynamics live.
+  u64 binomial(u64 m, double p);
+
   /// Ordered pair of *distinct* indices in [0, n).  Requires n >= 2.
   /// Models the paper's random scheduler: (initiator, responder).
   std::pair<u64, u64> ordered_pair(u64 n);

@@ -55,7 +55,10 @@ struct TrialSpec {
   /// Interaction model for EngineKind::kScheduled (plain data — each trial
   /// builds its scheduler from this and the resolved population size, so
   /// specs stay copyable and threads share nothing mutable).  Hostile
-  /// models (adversarial, churn, partition) run through this path too.
+  /// models (adversarial, churn, partition) and the weighted/dynamic-graph
+  /// families run through this path too; run_trials() builds one shared
+  /// scheduler per trial set, so expensive per-spec state (a topology, a
+  /// weight kernel's tables) is constructed once, not per trial.
   SchedulerSpec scheduler;
 
   /// Budget on scheduler interactions (for the adversarial schedulers that

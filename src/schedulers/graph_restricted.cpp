@@ -1,78 +1,9 @@
 #include "schedulers/graph_restricted.hpp"
 
 #include "common/assert.hpp"
+#include "schedulers/pair_sampler.hpp"
 
 namespace pp {
-namespace {
-
-constexpr u32 kNotProductive = static_cast<u32>(-1);
-
-// The mutable per-run state: agent states per vertex plus the incrementally
-// maintained set of productive directed edges.  Directed edge ids are
-// 2 * edge_id + orientation (0: (u, v) as stored, 1: reversed).
-struct EdgeState {
-  const InteractionGraph& g;
-  const Protocol& p;
-  std::vector<StateId> state;      // per vertex
-  std::vector<u32> productive;     // directed edge ids, unordered
-  std::vector<u32> where;          // directed edge id -> index in productive
-
-  EdgeState(const InteractionGraph& graph, const Protocol& proto,
-            std::vector<StateId> placement)
-      : g(graph), p(proto), state(std::move(placement)) {
-    where.assign(2 * g.num_edges(), kNotProductive);
-    for (u64 d = 0; d < where.size(); ++d) refresh(static_cast<u32>(d));
-  }
-
-  std::pair<u32, u32> endpoints(u32 directed) const {
-    const auto [u, v] = g.edges()[directed >> 1];
-    return (directed & 1) ? std::make_pair(v, u) : std::make_pair(u, v);
-  }
-
-  // Edge productivity is "δ changes either endpoint's state" — an
-  // agent-level notion, deliberately not Protocol::productive_weight's
-  // "changes the configuration".  The two coincide for every protocol in
-  // this library (δ is null iff it returns its inputs unchanged; rules
-  // never merely swap states), but a hypothetical swap rule
-  // δ(a,b) = (b,a) WOULD count as productive here: on a graph, agents
-  // have positions, so a swap genuinely moves state around the topology
-  // even though the count vector is unchanged.  Such a protocol never
-  // reaches edge-silence on its own — run it with a finite
-  // RunOptions::max_interactions.
-  bool is_productive(u32 directed) const {
-    const auto [u, v] = endpoints(directed);
-    return p.transition(state[u], state[v]) !=
-           std::make_pair(state[u], state[v]);
-  }
-
-  /// Syncs membership of one directed edge in the productive set.
-  void refresh(u32 directed) {
-    const bool now = is_productive(directed);
-    const bool was = where[directed] != kNotProductive;
-    if (now == was) return;
-    if (now) {
-      where[directed] = static_cast<u32>(productive.size());
-      productive.push_back(directed);
-    } else {
-      const u32 idx = where[directed];
-      const u32 moved = productive.back();
-      productive[idx] = moved;
-      where[moved] = idx;
-      productive.pop_back();
-      where[directed] = kNotProductive;
-    }
-  }
-
-  /// Re-tests every directed edge incident to v (both orientations).
-  void refresh_vertex(u32 v) {
-    for (const u32 e : g.incident_edges(v)) {
-      refresh(2 * e);
-      refresh(2 * e + 1);
-    }
-  }
-};
-
-}  // namespace
 
 GraphRestrictedScheduler::GraphRestrictedScheduler(
     std::shared_ptr<const InteractionGraph> graph, bool accelerated)
@@ -86,36 +17,33 @@ RunResult GraphRestrictedScheduler::run(Protocol& p, Rng& rng,
   const u64 n = p.num_agents();
   PP_ASSERT_MSG(graph_->num_vertices() == n,
                 "interaction graph size != population size");
+  // The protocols are self-stabilising, so *which* states start where is
+  // already arbitrary — the random placement just removes any artefact of
+  // the count-vector expansion order.
   std::vector<StateId> placement = p.configuration().to_agent_states();
   rng.shuffle(placement);
-  EdgeState es(*graph_, p, std::move(placement));
+  DirectedEdgeSampler es(*graph_, p, std::move(placement));
 
-  const u64 directed_total = 2 * graph_->num_edges();
   RunResult r;
-  while (!es.productive.empty()) {
-    u32 fired;
+  // Stops at edge-silence (no productive directed edge left — either true
+  // silence or a locally stuck configuration), budget exhaustion or
+  // observer abort.
+  while (es.pairs().productive_total() != 0) {
+    u64 fired;
     if (accelerated_) {
-      const double prob = static_cast<double>(es.productive.size()) /
-                          static_cast<double>(directed_total);
-      if (!advance_past_nulls(rng, prob, opt.max_interactions,
-                              r.interactions)) {
+      if (!advance_past_nulls(rng, es.pairs().productive_probability(),
+                              opt.max_interactions, r.interactions)) {
         break;
       }
-      fired = es.productive[rng.below(es.productive.size())];
+      fired = es.pairs().sample_productive(rng);
     } else {
       if (r.interactions >= opt.max_interactions) break;
       ++r.interactions;
-      const u32 drawn = static_cast<u32>(rng.below(directed_total));
-      if (es.where[drawn] == kNotProductive) continue;  // null step
+      const u64 drawn = es.pairs().sample(rng);
+      if (!es.pairs().productive(drawn)) continue;  // null step
       fired = drawn;
     }
-    const auto [u, v] = es.endpoints(fired);
-    const auto [su, sv] = p.apply_pair(es.state[u], es.state[v]);
-    PP_DCHECK(su != es.state[u] || sv != es.state[v]);
-    es.state[u] = su;
-    es.state[v] = sv;
-    es.refresh_vertex(u);
-    es.refresh_vertex(v);
+    es.fire(p, fired);
     ++r.productive_steps;
     if (opt.on_change && !opt.on_change(p, r.interactions)) {
       r.aborted = true;

@@ -1,0 +1,70 @@
+#include "schedulers/pair_sampler.hpp"
+
+#include "common/assert.hpp"
+
+namespace pp {
+
+void PairSampler::reset(u64 universe) {
+  weight_.reset(universe);
+  productive_.reset(universe);
+  flag_.assign(universe, 0);
+}
+
+void PairSampler::reset(std::vector<u64> weights, std::vector<u8> flags) {
+  PP_ASSERT_MSG(weights.size() == flags.size(),
+                "pair sampler needs one productivity flag per weight");
+  std::vector<u64> masked(weights.size());
+  for (u64 i = 0; i < weights.size(); ++i) {
+    masked[i] = flags[i] ? weights[i] : 0;
+  }
+  weight_.assign(std::move(weights));
+  productive_.assign(std::move(masked));
+  flag_ = std::move(flags);
+}
+
+void PairSampler::set_weight(u64 id, u64 w) {
+  weight_.set(id, w);
+  if (flag_[id]) productive_.set(id, w);
+}
+
+void PairSampler::set_productive(u64 id, bool productive) {
+  const u8 now = productive ? 1 : 0;
+  if (flag_[id] == now) return;
+  flag_[id] = now;
+  productive_.set(id, now ? weight_.get(id) : 0);
+}
+
+DirectedEdgeSampler::DirectedEdgeSampler(const InteractionGraph& g,
+                                         const Protocol& p,
+                                         std::vector<StateId> states)
+    : g_(&g), p_(&p), state_(std::move(states)) {
+  PP_ASSERT_MSG(state_.size() == g.num_vertices(),
+                "interaction graph size != population size");
+  const u64 universe = 2 * g.num_edges();
+  std::vector<u8> flags(universe);
+  for (u64 d = 0; d < universe; ++d) {
+    flags[d] = is_productive(d) ? 1 : 0;
+  }
+  pairs_.reset(std::vector<u64>(universe, 1), std::move(flags));
+}
+
+void DirectedEdgeSampler::fire(Protocol& p, u64 directed) {
+  // The flags are computed against the Protocol bound at construction;
+  // applying δ through a different instance would silently desync them.
+  PP_DCHECK(&p == p_);
+  const auto [u, v] = endpoints(directed);
+  const auto [su, sv] = p.apply_pair(state_[u], state_[v]);
+  PP_DCHECK(su != state_[u] || sv != state_[v]);
+  state_[u] = su;
+  state_[v] = sv;
+  for (const u32 e : g_->incident_edges(u)) {
+    refresh(2 * static_cast<u64>(e));
+    refresh(2 * static_cast<u64>(e) + 1);
+  }
+  for (const u32 e : g_->incident_edges(v)) {
+    refresh(2 * static_cast<u64>(e));
+    refresh(2 * static_cast<u64>(e) + 1);
+  }
+}
+
+}  // namespace pp

@@ -1,0 +1,178 @@
+// The Fenwick-backed pair-sampler layer: "sample a pair proportionally to
+// weight, keep the weights fresh as agents change state".
+//
+// Every scheduler in this library is secretly sampling from a weight
+// function over ordered pairs: the uniform scheduler weights all n(n-1)
+// ordered pairs equally, the graph-restricted scheduler weights directed
+// edges of a topology 1 and everything else 0, a spatial model weights
+// pairs by distance decay, and a dynamic graph moves weight around as
+// edges are born and die.  This module extracts the machinery those models
+// share — the same construction the protocols' own productive-weight
+// Fenwick uses, lifted from states to pairs:
+//
+//   * a Fenwick tree of per-pair *scheduling weights* w(e) (how likely the
+//     scheduler is to propose pair e next), plus
+//   * a parallel Fenwick of *productive weights* — w(e) for exactly those
+//     pairs whose interaction would change a state, 0 elsewhere — kept in
+//     sync through point updates.
+//
+// With both totals known exactly, the accelerated path of any scheduler
+// built on this layer falls out for free: the gap to the next productive
+// step is Geometric(productive_total / weight_total) and the firing pair
+// is sampled from the productive tree — the uniform engine's exact
+// null-skipping construction, generalised to arbitrary weights.
+//
+// PairSampler is deliberately protocol-agnostic: callers decide what a
+// pair id means (directed edge of a graph, dense (i, j) index, ...), test
+// productivity against δ themselves, and tell the sampler.
+// DirectedEdgeSampler below is the graph-shaped glue used by the
+// graph-restricted and dynamic-graph schedulers.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/protocol.hpp"
+#include "ds/fenwick.hpp"
+#include "rng/random.hpp"
+#include "structures/interaction_graph.hpp"
+
+namespace pp {
+
+/// The agent-level pair-productivity predicate shared by every sampler
+/// glue layer: "δ changes either endpoint's state".  This is deliberately
+/// not Protocol::productive_weight's "changes the configuration" — the
+/// two coincide for every protocol in this library (δ is null iff it
+/// returns its inputs unchanged; rules never merely swap states), but a
+/// hypothetical swap rule δ(a,b) = (b,a) WOULD count as productive here:
+/// under the positional schedulers agents have positions, so a swap
+/// genuinely moves state around even though the count vector is
+/// unchanged.  Such a protocol never reaches pair-silence on its own —
+/// run it with a finite RunOptions::max_interactions.
+inline bool pair_is_productive(const Protocol& p, StateId initiator,
+                               StateId responder) {
+  return p.transition(initiator, responder) !=
+         std::make_pair(initiator, responder);
+}
+
+class PairSampler {
+ public:
+  PairSampler() = default;
+  explicit PairSampler(u64 universe) { reset(universe); }
+
+  /// Re-initialises to `universe` pair slots, all with weight 0 and marked
+  /// unproductive.
+  void reset(u64 universe);
+
+  /// Bulk re-initialisation: scheduling weights plus productivity flags
+  /// (the productive tree becomes `weights` masked to `flags`).  O(n) via
+  /// Fenwick::assign — the dense pair universes are rebuilt per run, so
+  /// construction cost matters.
+  void reset(std::vector<u64> weights, std::vector<u8> flags);
+
+  u64 universe() const { return weight_.size(); }
+
+  /// Scheduling weight of pair `id` (0 = the scheduler never proposes it).
+  u64 weight(u64 id) const { return weight_.get(id); }
+  u64 weight_total() const { return weight_.total(); }
+
+  /// Total scheduling weight of the currently productive pairs.
+  u64 productive_total() const { return productive_.total(); }
+
+  /// Per-step probability that a weight-proportional draw is productive
+  /// (the accelerated path's geometric success probability); 0 when no
+  /// weight is assigned at all.
+  double productive_probability() const {
+    const u64 total = weight_.total();
+    if (total == 0) return 0.0;
+    return static_cast<double>(productive_.total()) /
+           static_cast<double>(total);
+  }
+
+  /// Sets the scheduling weight of `id`, keeping the productive tree in
+  /// sync with the pair's current productivity flag.  This is how dynamic
+  /// models move weight around (an edge death is set_weight(id, 0)).
+  void set_weight(u64 id, u64 w);
+
+  /// Records whether pair `id` is currently productive (its interaction
+  /// would change a state).  The productive tree carries w(id) for flagged
+  /// pairs and 0 otherwise; flags are tracked even for zero-weight pairs,
+  /// so a later set_weight restores the right productive mass.
+  void set_productive(u64 id, bool productive);
+  bool productive(u64 id) const { return flag_[id] != 0; }
+
+  /// Samples a pair with probability weight(id) / weight_total().
+  /// Precondition: weight_total() > 0.
+  u64 sample(Rng& rng) const {
+    PP_DCHECK(weight_.total() > 0);
+    return weight_.find(rng.below(weight_.total()));
+  }
+
+  /// Samples a productive pair with probability proportional to its
+  /// weight.  Precondition: productive_total() > 0.
+  u64 sample_productive(Rng& rng) const {
+    PP_DCHECK(productive_.total() > 0);
+    return productive_.find(rng.below(productive_.total()));
+  }
+
+ private:
+  Fenwick weight_;      // per-pair scheduling weights
+  Fenwick productive_;  // weight_ masked to the productive pairs
+  std::vector<u8> flag_;
+};
+
+/// The graph-shaped glue over PairSampler: binds the 2|E| directed edges
+/// of an InteractionGraph (pair id = 2 * edge + orientation) to a protocol
+/// and a per-vertex state vector, with unit scheduling weight per directed
+/// edge.  A productive application at (u, v) only changes the states of u
+/// and v, so fire() re-tests just the edges incident to the two endpoints
+/// against δ — O(deg) work per productive step on bounded-degree
+/// topologies.  The graph-restricted scheduler holds one per run; the
+/// periodic-rewiring dynamics rebuild one per epoch (take_states()
+/// carries the population across).
+class DirectedEdgeSampler {
+ public:
+  /// `states` is the per-vertex agent placement; every directed edge gets
+  /// weight 1 and its productivity is computed up front.
+  DirectedEdgeSampler(const InteractionGraph& g, const Protocol& p,
+                      std::vector<StateId> states);
+
+  const PairSampler& pairs() const { return pairs_; }
+
+  /// Endpoints of a directed edge id as (initiator, responder).
+  std::pair<u32, u32> endpoints(u64 directed) const {
+    const auto [u, v] = g_->edges()[directed >> 1];
+    return (directed & 1) ? std::make_pair(v, u) : std::make_pair(u, v);
+  }
+
+  /// Applies δ at the endpoints of `directed` (which must be productive),
+  /// updates the vertex states and refreshes every incident directed edge.
+  void fire(Protocol& p, u64 directed);
+
+  /// Edge productivity through the shared pair_is_productive predicate
+  /// (see its comment above for the agent-level vs configuration-level
+  /// subtlety).
+  bool is_productive(u64 directed) const {
+    const auto [u, v] = endpoints(directed);
+    return pair_is_productive(*p_, state_[u], state_[v]);
+  }
+
+  const std::vector<StateId>& states() const { return state_; }
+
+  /// Hands the state vector to the caller (for rebuilding on a rewired
+  /// graph); the sampler must not be used afterwards.
+  std::vector<StateId> take_states() { return std::move(state_); }
+
+ private:
+  void refresh(u64 directed) {
+    pairs_.set_productive(directed, is_productive(directed));
+  }
+
+  const InteractionGraph* g_;
+  const Protocol* p_;
+  std::vector<StateId> state_;
+  PairSampler pairs_;
+};
+
+}  // namespace pp

@@ -5,10 +5,12 @@
 #include "common/assert.hpp"
 #include "schedulers/adversarial.hpp"
 #include "schedulers/churn.hpp"
+#include "schedulers/dynamic_graph.hpp"
 #include "schedulers/graph_restricted.hpp"
 #include "schedulers/partition.hpp"
 #include "schedulers/random_matching.hpp"
 #include "schedulers/uniform.hpp"
+#include "schedulers/weighted.hpp"
 
 namespace pp {
 
@@ -29,6 +31,10 @@ const char* scheduler_kind_name(SchedulerKind k) {
       return "random-matching";
     case SchedulerKind::kGraphRestricted:
       return "graph-restricted";
+    case SchedulerKind::kWeighted:
+      return "weighted";
+    case SchedulerKind::kDynamicGraph:
+      return "dynamic";
     case SchedulerKind::kAdversarial:
       return "adversarial";
     case SchedulerKind::kChurn:
@@ -42,8 +48,31 @@ const char* scheduler_kind_name(SchedulerKind k) {
 std::vector<SchedulerKind> scheduler_kinds() {
   return {SchedulerKind::kAcceleratedUniform, SchedulerKind::kUniform,
           SchedulerKind::kRandomMatching,     SchedulerKind::kGraphRestricted,
+          SchedulerKind::kWeighted,           SchedulerKind::kDynamicGraph,
           SchedulerKind::kAdversarial,        SchedulerKind::kChurn,
           SchedulerKind::kPartition};
+}
+
+const char* weight_kernel_name(WeightKernel k) {
+  switch (k) {
+    case WeightKernel::kUniform:
+      return "uniform";
+    case WeightKernel::kRingDecay:
+      return "ring-decay";
+    case WeightKernel::kLineDecay:
+      return "line-decay";
+  }
+  return "?";
+}
+
+const char* graph_dynamics_name(GraphDynamics d) {
+  switch (d) {
+    case GraphDynamics::kEdgeMarkovian:
+      return "markov";
+    case GraphDynamics::kPeriodicRewire:
+      return "rewire";
+  }
+  return "?";
 }
 
 const char* adversary_policy_name(AdversaryPolicy p) {
@@ -86,6 +115,12 @@ std::vector<SchedulerSpec> standard_scheduler_menu() {
   menu.push_back(s);
   s.kind = SchedulerKind::kRandomMatching;
   menu.push_back(s);
+  s.kind = SchedulerKind::kWeighted;
+  s.kernel = WeightKernel::kUniform;  // sanity anchor: must match uniform
+  menu.push_back(s);
+  s.kernel = WeightKernel::kRingDecay;  // the spatial model
+  menu.push_back(s);
+  s = SchedulerSpec{};
   s.kind = SchedulerKind::kChurn;
   menu.push_back(s);
   s.kind = SchedulerKind::kPartition;
@@ -97,6 +132,13 @@ std::vector<SchedulerSpec> standard_scheduler_menu() {
   s.degree = 4;
   menu.push_back(s);
   s.graph = GraphKind::kCycle;
+  menu.push_back(s);
+  // The headline contrast: the same sparse cycle that strands ranking
+  // when static, made dynamic both ways.
+  s.kind = SchedulerKind::kDynamicGraph;
+  s.dynamics = GraphDynamics::kEdgeMarkovian;
+  menu.push_back(s);
+  s.dynamics = GraphDynamics::kPeriodicRewire;
   menu.push_back(s);
   return menu;
 }
@@ -120,17 +162,66 @@ std::vector<SchedulerSpec> all_scheduler_specs() {
   s.kind = SchedulerKind::kPartition;
   s.partition_blocks = 3;  // the 2-block default is already in the menu
   specs.push_back(s);
+  s = SchedulerSpec{};
+  s.kind = SchedulerKind::kWeighted;
+  s.kernel = WeightKernel::kLineDecay;  // ring and uniform are in the menu
+  specs.push_back(s);
+  s.kernel = WeightKernel::kRingDecay;
+  s.kernel_power = 2;  // the steep-decay variant
+  specs.push_back(s);
+  s = SchedulerSpec{};
+  s.kind = SchedulerKind::kDynamicGraph;  // cycle variants are in the menu
+  s.graph = GraphKind::kRandomRegular;
+  s.degree = 4;
+  s.dynamics = GraphDynamics::kPeriodicRewire;
+  specs.push_back(s);
+  s.graph = GraphKind::kComplete;  // starts dense, decays to stationarity
+  s.dynamics = GraphDynamics::kEdgeMarkovian;
+  specs.push_back(s);
   return specs;
 }
 
+namespace {
+
+// The topology part of graph-restricted/dynamic display names, delegated
+// to InteractionGraph::describe so spec names and graph-derived scheduler
+// names can never drift apart (GraphRestrictedScheduler builds its name
+// from the graph's description; sinks and BENCH labels key on the
+// equality).
+std::string graph_family_name(const SchedulerSpec& s) {
+  return InteractionGraph::describe(s.graph, s.degree, s.graph_seed);
+}
+
+}  // namespace
+
 std::string SchedulerSpec::to_string() const {
   switch (kind) {
-    case SchedulerKind::kGraphRestricted: {
-      std::string out = "graph-restricted[";
-      if (graph == GraphKind::kRandomRegular) {
-        out += "random-" + std::to_string(degree) + "-regular";
-      } else {
-        out += graph_kind_name(graph);
+    case SchedulerKind::kGraphRestricted:
+      return "graph-restricted[" + graph_family_name(*this) + "]";
+    case SchedulerKind::kWeighted: {
+      std::string out = std::string("weighted[") + weight_kernel_name(kernel);
+      if (kernel_power != 1) out += "^" + std::to_string(kernel_power);
+      out += "]";
+      return out;
+    }
+    case SchedulerKind::kDynamicGraph: {
+      // Like churn below: no commas (the name doubles as a CSV cell), and
+      // every knob deviating from its default is encoded so distinct specs
+      // never share a display name.
+      std::string out = "dynamic[" + graph_family_name(*this) + "/";
+      out += graph_dynamics_name(dynamics);
+      if (dynamics == GraphDynamics::kEdgeMarkovian) {
+        char rate[32];
+        if (edge_birth != 0) {
+          std::snprintf(rate, sizeof(rate), "/b%g", edge_birth);
+          out += rate;
+        }
+        if (edge_death != 0.01) {
+          std::snprintf(rate, sizeof(rate), "/d%g", edge_death);
+          out += rate;
+        }
+      } else if (rewire_period != 0) {
+        out += "/T" + std::to_string(rewire_period);
       }
       out += "]";
       return out;
@@ -181,6 +272,14 @@ SchedulerPtr make_scheduler(const SchedulerSpec& spec, u64 n) {
       return std::make_unique<GraphRestrictedScheduler>(
           std::move(graph), spec.graph_accelerated);
     }
+    case SchedulerKind::kWeighted:
+      // Pinning n here both precomputes the kernel table (shared by every
+      // trial of a runner sweep) and rejects oversized populations at
+      // construction, where the caller is.
+      return std::make_unique<WeightedScheduler>(spec.kernel,
+                                                 spec.kernel_power, n);
+    case SchedulerKind::kDynamicGraph:
+      return std::make_unique<DynamicGraphScheduler>(spec, n);
     case SchedulerKind::kAdversarial:
       return std::make_unique<AdversarialScheduler>(spec.adversary);
     case SchedulerKind::kChurn:

@@ -26,6 +26,22 @@
 //                        the protocol's productive weight with the edge set
 //                        and skips null steps geometrically, exactly like
 //                        the accelerated uniform engine;
+//   weighted             each step proposes ordered pair (i, j) with
+//                        probability proportional to an arbitrary weight
+//                        kernel w(i, j) (schedulers/weighted.hpp): uniform
+//                        weights recover the paper's model, the spatial
+//                        ring/line-decay kernels open distance-decaying
+//                        interaction models.  Built on the Fenwick-backed
+//                        pair-sampler layer (schedulers/pair_sampler.hpp),
+//                        which generalises the accelerated engine's exact
+//                        null-skipping to any weight function;
+//   dynamic              the interaction graph itself evolves mid-run
+//                        (schedulers/dynamic_graph.hpp): edge-Markovian
+//                        birth/death chains per potential edge, or
+//                        periodic rewiring that re-embeds (and resamples)
+//                        the topology every T steps.  Locally stuck is a
+//                        passing phase here, not a verdict — the dynamics
+//                        revive stranded runs, which is the model's point;
 //   adversarial          a hostile-but-productive scheduler: every step
 //                        fires some productive pair, chosen greedily by an
 //                        AdversaryPolicy (schedulers/adversarial.hpp) —
@@ -44,7 +60,9 @@
 //                        runs healed to silence.
 //
 // Parallel-time accounting per scheduler (RunResult::parallel_time):
-//   uniform / accelerated-uniform / graph-restricted:  interactions / n
+//   uniform / accelerated-uniform / graph-restricted / weighted /
+//   dynamic:  interactions / n (for the dynamic models every step is one
+//             meeting slot regardless of how many edges flipped that step)
 //   random-matching:  the number of rounds (a round is one unit of
 //                     parallel time; RunResult::interactions still counts
 //                     individual pair meetings, nulls included, and the
@@ -62,7 +80,9 @@
 // stops when no *edge* of its graph is productive while distant pairs still
 // would be ("locally stuck") — the run then reports silent = false, which
 // is exactly how non-stabilisation under a restricted topology shows up in
-// the aggregates.  The adversarial scheduler stops when no productive pair
+// the aggregates.  The dynamic-graph schedulers ride out locally stuck
+// phases (the topology will change) and only stop early when the dynamics
+// themselves are frozen.  The adversarial scheduler stops when no productive pair
 // exists (true silence) or when the budget runs out (the adversary found an
 // infinite productive schedule — reported as silent = false).
 //
@@ -105,6 +125,8 @@ enum class SchedulerKind {
   kAcceleratedUniform,
   kRandomMatching,
   kGraphRestricted,
+  kWeighted,
+  kDynamicGraph,
   kAdversarial,
   kChurn,
   kPartition,
@@ -129,6 +151,25 @@ const char* adversary_policy_name(AdversaryPolicy p);
 /// All policies, honest baseline first.
 std::vector<AdversaryPolicy> adversary_policies();
 
+/// The pair-weight kernels behind SchedulerKind::kWeighted; the
+/// implementation lives in schedulers/weighted.{hpp,cpp}.
+enum class WeightKernel {
+  kUniform,    ///< w = 1 for every ordered pair (the paper's model)
+  kRingDecay,  ///< positions on a ring; w = floor(n / d)^power
+  kLineDecay,  ///< positions on a line; w = floor(n / d)^power
+};
+
+const char* weight_kernel_name(WeightKernel k);
+
+/// The topology-evolution policies behind SchedulerKind::kDynamicGraph;
+/// the implementation lives in schedulers/dynamic_graph.{hpp,cpp}.
+enum class GraphDynamics {
+  kEdgeMarkovian,   ///< per-step independent edge birth/death chains
+  kPeriodicRewire,  ///< re-embed (and resample d-regular) every T steps
+};
+
+const char* graph_dynamics_name(GraphDynamics d);
+
 /// Where a churn fault teleports an agent.
 enum class ChurnReset {
   kUniformState,  ///< uniform over all states (generic memory corruption)
@@ -144,13 +185,31 @@ const char* churn_reset_name(ChurnReset r);
 struct SchedulerSpec {
   SchedulerKind kind = SchedulerKind::kAcceleratedUniform;
 
-  /// kGraphRestricted only: topology family and its parameters.  The
-  /// topology is derived from (graph, degree, graph_seed, n) alone — every
-  /// trial of a sweep point interacts on the same graph.
+  /// kGraphRestricted and kDynamicGraph: topology family and its
+  /// parameters (the initial topology for dynamic graphs).  The topology
+  /// is derived from (graph, degree, graph_seed, n) alone — every trial of
+  /// a sweep point interacts on (or starts from) the same graph.
   GraphKind graph = GraphKind::kComplete;
   u64 degree = 3;      ///< kRandomRegular only
   u64 graph_seed = 1;  ///< kRandomRegular only
   bool graph_accelerated = true;  ///< null-skipping fast path
+
+  /// kWeighted only: pair-weight kernel and its decay sharpness
+  /// (w = floor(n/d)^kernel_power for the spatial kernels; power must be
+  /// in {1, 2, 3}).
+  WeightKernel kernel = WeightKernel::kUniform;
+  u64 kernel_power = 1;
+
+  /// kDynamicGraph only: evolution policy and its knobs.  Edge-Markovian:
+  /// per-step absent->present probability `edge_birth` (0 = auto-derived
+  /// from edge_death to hold a stationary edge count of ~n, the sparsity
+  /// of a cycle) and present->absent probability `edge_death`.  Periodic
+  /// rewiring: epoch length in steps (0 = n, one epoch per unit of
+  /// parallel time).
+  GraphDynamics dynamics = GraphDynamics::kEdgeMarkovian;
+  double edge_birth = 0;
+  double edge_death = 0.01;
+  u64 rewire_period = 0;
 
   /// kAdversarial only: which greedy policy picks the productive pair.
   AdversaryPolicy adversary = AdversaryPolicy::kRandomProductive;
@@ -172,6 +231,7 @@ struct SchedulerSpec {
   u64 partition_cycles = 3;
 
   /// Display name, e.g. "graph-restricted[random-3-regular]",
+  /// "weighted[ring-decay]", "dynamic[cycle/markov]",
   /// "adversarial[max-load]", "churn[0.02/uniform-state]".
   std::string to_string() const;
 };
@@ -181,11 +241,13 @@ SchedulerPtr make_scheduler(const SchedulerSpec& spec, u64 n);
 
 /// The standard comparison menu (bench_scheduler_comparison and
 /// examples/scheduler_tour share it): accelerated-uniform, uniform,
-/// random-matching, the hostile-environment models (churn, partition), then
-/// graph-restricted on complete, random-4-regular and cycle — complete
-/// mixing first, sparsest last.  The adversarial schedulers are excluded
-/// (O(states^2) per step makes them a small-n tool; bench_adversarial
-/// covers them).
+/// random-matching, weighted on the uniform and ring-decay kernels, the
+/// hostile-environment models (churn, partition), graph-restricted on
+/// complete, random-4-regular and cycle — complete mixing first, sparsest
+/// last — and finally the headline contrast: the same cycle under
+/// edge-Markovian and periodic-rewiring dynamics.  The adversarial
+/// schedulers are excluded (O(states^2) per step makes them a small-n
+/// tool; bench_adversarial covers them).
 std::vector<SchedulerSpec> standard_scheduler_menu();
 
 /// One spec per registered scheduler variant — the standard menu plus all

@@ -1,0 +1,143 @@
+#include "schedulers/weighted.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "schedulers/pair_sampler.hpp"
+
+namespace pp {
+namespace {
+
+// The mutable per-run state: agent states per position plus the sampler
+// over the dense universe of ordered pairs (id = i * n + j; the n diagonal
+// slots keep weight 0 forever).
+struct DenseState {
+  const Protocol& p;
+  u64 n;
+  std::vector<StateId> state;
+  PairSampler pairs;
+
+  DenseState(std::vector<u64> kernel_table, const Protocol& proto,
+             std::vector<StateId> placement)
+      : p(proto), n(placement.size()), state(std::move(placement)) {
+    std::vector<u8> flags(n * n, 0);
+    for (u64 i = 0; i < n; ++i) {
+      for (u64 j = 0; j < n; ++j) {
+        if (i == j) continue;
+        flags[i * n + j] =
+            pair_is_productive(p, state[i], state[j]) ? 1 : 0;
+      }
+    }
+    pairs.reset(std::move(kernel_table), std::move(flags));
+  }
+
+  void refresh(u64 id) {
+    pairs.set_productive(id,
+                         pair_is_productive(p, state[id / n], state[id % n]));
+  }
+
+  /// Re-tests every ordered pair involving position v.
+  void refresh_position(u64 v) {
+    for (u64 x = 0; x < n; ++x) {
+      if (x == v) continue;
+      refresh(v * n + x);
+      refresh(x * n + v);
+    }
+  }
+};
+
+}  // namespace
+
+WeightedScheduler::WeightedScheduler(WeightKernel kernel, u64 power, u64 n)
+    : kernel_(kernel), power_(power), n_(n) {
+  PP_ASSERT_MSG(power >= 1 && power <= 3,
+                "weighted scheduler needs kernel power in {1, 2, 3}");
+  if (n_ != 0) {
+    PP_ASSERT_MSG(n_ >= 2, "weighted scheduler needs n >= 2");
+    PP_ASSERT_MSG(n_ <= kMaxPopulation,
+                  "weighted scheduler caps n at 4096 (dense pair universe)");
+    weights_ = kernel_table(n_);
+  }
+  SchedulerSpec spec;
+  spec.kind = SchedulerKind::kWeighted;
+  spec.kernel = kernel;
+  spec.kernel_power = power;
+  name_ = spec.to_string();
+}
+
+std::vector<u64> WeightedScheduler::kernel_table(u64 n) const {
+  std::vector<u64> weights(n * n, 0);
+  for (u64 i = 0; i < n; ++i) {
+    for (u64 j = 0; j < n; ++j) {
+      if (i != j) weights[i * n + j] = pair_weight(n, i, j);
+    }
+  }
+  return weights;
+}
+
+u64 WeightedScheduler::pair_weight(u64 n, u64 i, u64 j) const {
+  PP_DCHECK(i != j && i < n && j < n);
+  u64 base = 1;
+  switch (kernel_) {
+    case WeightKernel::kUniform:
+      base = 1;
+      break;
+    case WeightKernel::kRingDecay: {
+      const u64 gap = i > j ? i - j : j - i;
+      base = n / std::min(gap, n - gap);
+      break;
+    }
+    case WeightKernel::kLineDecay:
+      base = n / (i > j ? i - j : j - i);
+      break;
+  }
+  u64 w = 1;
+  for (u64 k = 0; k < power_; ++k) w *= base;
+  return w;
+}
+
+RunResult WeightedScheduler::run(Protocol& p, Rng& rng,
+                                 const RunOptions& opt) const {
+  const u64 n = p.num_agents();
+  PP_ASSERT_MSG(n >= 2, "weighted scheduler needs n >= 2");
+  PP_ASSERT_MSG(n <= kMaxPopulation,
+                "weighted scheduler caps n at 4096 (dense pair universe)");
+  PP_ASSERT_MSG(n_ == 0 || n_ == n,
+                "weighted scheduler built for a different population size");
+  std::vector<StateId> placement = p.configuration().to_agent_states();
+  rng.shuffle(placement);
+  // The placement-independent kernel table is shared by every trial when
+  // the population size was pinned at construction (one copy per run, as
+  // the sampler consumes it); the unpinned path builds and moves its own.
+  std::vector<u64> table = n_ != 0 ? weights_ : kernel_table(n);
+  DenseState ds(std::move(table), p, std::move(placement));
+
+  RunResult r;
+  // Every kernel weight is >= 1, so zero productive weight on the pair
+  // universe is exactly global silence — weighted runs cannot get locally
+  // stuck the way a zero/one graph kernel can.
+  while (ds.pairs.productive_total() != 0) {
+    if (!advance_past_nulls(rng, ds.pairs.productive_probability(),
+                            opt.max_interactions, r.interactions)) {
+      break;
+    }
+    const u64 fired = ds.pairs.sample_productive(rng);
+    const u64 i = fired / n;
+    const u64 j = fired % n;
+    const auto [si, sj] = p.apply_pair(ds.state[i], ds.state[j]);
+    PP_DCHECK(si != ds.state[i] || sj != ds.state[j]);
+    ds.state[i] = si;
+    ds.state[j] = sj;
+    ds.refresh_position(i);
+    ds.refresh_position(j);
+    ++r.productive_steps;
+    if (opt.on_change && !opt.on_change(p, r.interactions)) {
+      r.aborted = true;
+      break;
+    }
+  }
+  return detail::finish_run(
+      p, r, static_cast<double>(r.interactions) / static_cast<double>(n));
+}
+
+}  // namespace pp

@@ -1,0 +1,85 @@
+// The weighted scheduler: pair selection from an arbitrary weight kernel.
+//
+// The paper's uniform scheduler is the special case w ≡ 1 of a more
+// general model: agents sit at positions 0..n-1 (a uniformly random
+// placement drawn at run start, like the graph-restricted scheduler's),
+// and each step proposes the ordered pair (i, j) with probability
+// w(i, j) / Σ w — any non-negative integer kernel.  The complete and
+// graph-restricted models are the 1/0 special cases of this; the kernels
+// shipped here open the *spatial* family the temporal-graph literature
+// studies, where interaction probability decays with distance:
+//
+//   uniform      w = 1 for every ordered pair — the paper's model through
+//                the weighted machinery (tests pin the statistical
+//                equivalence to the uniform engine);
+//   ring-decay   positions on a ring (the geometry of
+//                structures/ring_layout): distance d(i, j) =
+//                min(|i-j|, n-|i-j|), kernel w = floor(n/d)^power — nearby
+//                agents meet Θ(n/d)^power more often, but every pair keeps
+//                weight >= 1, so mixing is slowed, never severed;
+//   line-decay   positions on a line (the geometry of
+//                structures/line_layout): d(i, j) = |i-j|, same harmonic
+//                kernel — adds the boundary asymmetry a ring lacks.
+//
+// Pair selection runs on the Fenwick-backed sampler layer
+// (schedulers/pair_sampler.hpp) over the dense universe of n(n-1) ordered
+// pairs: productive weight is maintained incrementally (a productive step
+// at (i, j) re-tests only the 4(n-1) directed pairs involving i or j) and
+// null steps are skipped geometrically with success probability
+// W_productive / W_total — the accelerated uniform engine's construction at
+// kernel generality.
+//
+// Because every kernel here assigns positive weight to every pair, a
+// weighted run can never get locally stuck: it ends at true silence,
+// budget exhaustion or observer abort.  Parallel time is interactions / n.
+#pragma once
+
+#include <string>
+
+#include "schedulers/scheduler.hpp"
+
+namespace pp {
+
+class WeightedScheduler final : public Scheduler {
+ public:
+  /// Population cap: the sampler allocates Θ(n^2) Fenwick slots over the
+  /// dense ordered-pair universe, and with w <= n^3 per pair the total
+  /// weight stays far below u64 range at this size.  Mind the memory at
+  /// the cap: each *run* owns its sampler (~0.5 GB at n = 4096), and the
+  /// parallel runner drives one run per thread — size RunnerOptions::
+  /// threads accordingly, or stay at the n <= 512 the benches use.
+  static constexpr u64 kMaxPopulation = 4096;
+
+  /// `power` sharpens the decay (w = floor(n/d)^power); must be in
+  /// {1, 2, 3} — enough to span gentle-to-steep spatial locality without
+  /// risking u64 overflow of the total weight.  A non-zero `n` pins the
+  /// population size and precomputes the Θ(n^2) kernel table once at
+  /// construction — the parallel runner builds one scheduler per trial
+  /// set, so a sweep's trials share the table instead of each recomputing
+  /// it; n = 0 defers to run() (any population, table built per run).
+  explicit WeightedScheduler(WeightKernel kernel, u64 power = 1, u64 n = 0);
+
+  std::string_view name() const override { return name_; }
+  RunResult run(Protocol& p, Rng& rng,
+                const RunOptions& opt = {}) const override;
+
+  WeightKernel kernel() const { return kernel_; }
+  u64 power() const { return power_; }
+
+  /// The kernel weight of ordered pair (i, j) in a population of n;
+  /// exposed for tests.  Requires i != j.
+  u64 pair_weight(u64 n, u64 i, u64 j) const;
+
+  /// The full dense table: kernel weight at id i * n + j, 0 on the
+  /// diagonal.
+  std::vector<u64> kernel_table(u64 n) const;
+
+ private:
+  WeightKernel kernel_;
+  u64 power_;
+  u64 n_;                      // 0 = resolved per run
+  std::vector<u64> weights_;   // precomputed kernel_table(n_) when n_ != 0
+  std::string name_;
+};
+
+}  // namespace pp

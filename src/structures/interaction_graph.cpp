@@ -94,21 +94,31 @@ InteractionGraph InteractionGraph::path(u64 n) {
 }
 
 InteractionGraph InteractionGraph::random_regular(u64 n, u64 d, u64 seed) {
+  // Infeasible parameters are rejected up front, with the failing
+  // constraint spelled out, *before* the configuration-model resampling
+  // loop below gets a chance to spin on a request it can never satisfy:
+  // a d-regular graph needs d < n and an even number n*d of stubs, and
+  // the model's acceptance probability ~exp(-(d^2-1)/4) makes degrees
+  // beyond 6 hopeless at any attempt budget.
   PP_ASSERT_MSG(d >= 1 && d < n, "random_regular needs 1 <= d < n");
   PP_ASSERT_MSG((n * d) % 2 == 0, "random_regular needs n*d even");
+  PP_ASSERT_MSG(d <= 6,
+                "random_regular needs d <= 6: the configuration model's "
+                "acceptance probability ~exp(-(d^2-1)/4) vanishes beyond");
   check_buildable(n, n * d / 2);
   Rng rng(seed);
   std::vector<std::pair<u32, u32>> edges;
   // Configuration model with rejection: pair up d stubs per vertex and
   // resample whenever the pairing has a self-loop or a parallel edge.  The
-  // acceptance probability tends to exp(-(d^2-1)/4) — constant in n — so a
-  // generous attempt cap never triggers in practice for the small d used
-  // as interaction topologies.
+  // acceptance probability tends to exp(-(d^2-1)/4) — constant in n — so
+  // for the d <= 6 accepted above the attempt cap never triggers in
+  // practice (d = 6 succeeds ~16 times per 100000 attempts in
+  // expectation).
   std::vector<u32> stubs(n * d);
   for (u64 i = 0; i < stubs.size(); ++i) {
     stubs[i] = static_cast<u32>(i / d);
   }
-  for (int attempt = 0; attempt < 10000; ++attempt) {
+  for (int attempt = 0; attempt < 100000; ++attempt) {
     rng.shuffle(stubs);
     edges.clear();
     bool simple = true;
@@ -128,7 +138,7 @@ InteractionGraph InteractionGraph::random_regular(u64 n, u64 d, u64 seed) {
       continue;
     }
     return InteractionGraph(n, std::move(edges),
-                            "random-" + std::to_string(d) + "-regular");
+                            describe(GraphKind::kRandomRegular, d, seed));
   }
   PP_ASSERT_MSG(false, "configuration model failed to produce a simple "
                        "d-regular graph (d too large for n?)");
@@ -170,6 +180,18 @@ InteractionGraph InteractionGraph::make(GraphKind kind, u64 n, u64 degree,
   }
   PP_ASSERT_MSG(false, "unknown GraphKind");
   return complete(n);
+}
+
+std::string InteractionGraph::describe(GraphKind kind, u64 degree, u64 seed) {
+  if (kind == GraphKind::kRandomRegular) {
+    // A non-default seed is part of the identity (and so of the display
+    // name): two topologies differing only in seed must not collide in
+    // scheduler names, sinks or BENCH labels.
+    std::string out = "random-" + std::to_string(degree) + "-regular";
+    if (seed != 1) out += "/g" + std::to_string(seed);
+    return out;
+  }
+  return graph_kind_name(kind);
 }
 
 bool InteractionGraph::connected() const {

@@ -69,6 +69,12 @@ class InteractionGraph {
   static InteractionGraph make(GraphKind kind, u64 n, u64 degree = 3,
                                u64 seed = 1);
 
+  /// The description() make() would give the topology, without building
+  /// it — the single source of the display-name format that scheduler
+  /// names, sinks and BENCH labels key on (e.g. "cycle",
+  /// "random-4-regular", "random-4-regular/g7" for a non-default seed).
+  static std::string describe(GraphKind kind, u64 degree = 3, u64 seed = 1);
+
   u64 num_vertices() const { return n_; }
   u64 num_edges() const { return edges_.size(); }
 

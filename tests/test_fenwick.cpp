@@ -125,6 +125,36 @@ TEST(Fenwick, RandomizedAgainstNaive) {
   }
 }
 
+TEST(Fenwick, AssignMatchesPointwiseConstruction) {
+  // The O(n) bulk builder must be indistinguishable from reset() + set()s
+  // across sizes that exercise every tree shape (powers of two, one off,
+  // tiny, empty-suffix).
+  Rng rng(88);
+  for (const u64 size : {1ull, 2ull, 7ull, 8ull, 9ull, 64ull, 100ull}) {
+    std::vector<u64> weights(size);
+    for (u64 i = 0; i < size; ++i) weights[i] = rng.below(50);
+    Fenwick bulk;
+    bulk.assign(weights);
+    Fenwick pointwise(size);
+    for (u64 i = 0; i < size; ++i) pointwise.set(i, weights[i]);
+    ASSERT_EQ(bulk.size(), pointwise.size());
+    EXPECT_EQ(bulk.total(), pointwise.total());
+    for (u64 i = 0; i <= size; ++i) {
+      EXPECT_EQ(bulk.prefix(i), pointwise.prefix(i)) << size << ":" << i;
+    }
+    for (u64 t = 0; t < bulk.total(); ++t) {
+      ASSERT_EQ(bulk.find(t), pointwise.find(t)) << size << ":" << t;
+    }
+    // And it stays a live tree: point updates after a bulk build work.
+    if (size >= 2) {
+      bulk.add(1, 5);
+      pointwise.add(1, 5);
+      EXPECT_EQ(bulk.prefix(size), pointwise.prefix(size));
+      EXPECT_EQ(bulk.find(bulk.total() - 1), pointwise.find(bulk.total() - 1));
+    }
+  }
+}
+
 TEST(Fenwick, SamplingIsProportional) {
   Rng rng(77);
   Fenwick f(4);

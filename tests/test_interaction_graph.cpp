@@ -81,6 +81,21 @@ TEST(InteractionGraph, IncidenceListsMatchEdgeList) {
   }
 }
 
+TEST(InteractionGraphDeathTest, RandomRegularRejectsInfeasibleParameters) {
+  // Infeasible requests die at construction with the failing constraint
+  // named — before the configuration-model resampling loop can spin on a
+  // request it could never satisfy.
+  EXPECT_DEATH(InteractionGraph::random_regular(5, 3, 1), "n\\*d even");
+  EXPECT_DEATH(InteractionGraph::random_regular(4, 4, 1), "1 <= d < n");
+  EXPECT_DEATH(InteractionGraph::random_regular(4, 0, 1), "1 <= d < n");
+  EXPECT_DEATH(InteractionGraph::random_regular(64, 8, 1), "d <= 6");
+  EXPECT_DEATH(InteractionGraph::make(GraphKind::kRandomRegular, 9, 3, 1),
+               "n\\*d even");
+  // Routing topologies need n = m^2 for an even m.
+  EXPECT_DEATH(InteractionGraph::make(GraphKind::kRouting, 9),
+               "needs n = m\\^2");
+}
+
 TEST(InteractionGraph, MakeDispatches) {
   EXPECT_EQ(InteractionGraph::make(GraphKind::kComplete, 5).num_edges(), 10u);
   EXPECT_EQ(InteractionGraph::make(GraphKind::kCycle, 5).num_edges(), 5u);

@@ -1,0 +1,140 @@
+// The Fenwick-backed pair-sampler layer (schedulers/pair_sampler.hpp).
+//
+// The load-bearing guarantees:
+//   * weight / productivity bookkeeping: the productive tree always equals
+//     the base tree masked to the flagged pairs, through any interleaving
+//     of set_weight and set_productive (including flags set while the
+//     weight is 0 — the dynamic-graph schedulers lean on that);
+//   * sampling is weight-proportional (chi-squared-style frequency check)
+//     and productive sampling never returns an unproductive pair;
+//   * DirectedEdgeSampler mirrors the protocol: its productive total
+//     counts exactly the directed edges whose endpoints δ would change,
+//     and fire() keeps that in sync with apply_pair.
+#include "schedulers/pair_sampler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/initial.hpp"
+#include "protocols/ag.hpp"
+#include "structures/interaction_graph.hpp"
+
+namespace pp {
+namespace {
+
+TEST(PairSampler, WeightAndProductivityBookkeeping) {
+  PairSampler s(8);
+  EXPECT_EQ(s.universe(), 8u);
+  EXPECT_EQ(s.weight_total(), 0u);
+  EXPECT_EQ(s.productive_total(), 0u);
+  EXPECT_EQ(s.productive_probability(), 0.0);
+
+  s.set_weight(0, 3);
+  s.set_weight(1, 5);
+  EXPECT_EQ(s.weight_total(), 8u);
+  EXPECT_EQ(s.productive_total(), 0u);  // nothing flagged yet
+
+  s.set_productive(1, true);
+  EXPECT_EQ(s.productive_total(), 5u);
+  EXPECT_DOUBLE_EQ(s.productive_probability(), 5.0 / 8.0);
+
+  // Weight changes follow the flag.
+  s.set_weight(1, 2);
+  EXPECT_EQ(s.weight_total(), 5u);
+  EXPECT_EQ(s.productive_total(), 2u);
+
+  // Flags survive a weight of 0: an edge death followed by a rebirth
+  // restores the right productive mass without re-testing δ.
+  s.set_weight(1, 0);
+  EXPECT_EQ(s.productive_total(), 0u);
+  EXPECT_TRUE(s.productive(1));
+  s.set_weight(1, 7);
+  EXPECT_EQ(s.productive_total(), 7u);
+
+  // Flagging a zero-weight pair contributes nothing until weight arrives.
+  s.set_productive(4, true);
+  EXPECT_EQ(s.productive_total(), 7u);
+  s.set_weight(4, 1);
+  EXPECT_EQ(s.productive_total(), 8u);
+
+  s.set_productive(1, false);
+  EXPECT_EQ(s.productive_total(), 1u);
+  EXPECT_EQ(s.weight_total(), 11u);
+}
+
+TEST(PairSampler, SamplingIsWeightProportional) {
+  PairSampler s(4);
+  const u64 weights[4] = {1, 0, 3, 6};
+  for (u64 i = 0; i < 4; ++i) s.set_weight(i, weights[i]);
+  s.set_productive(0, true);
+  s.set_productive(3, true);
+
+  Rng rng(123);
+  const int kDraws = 20000;
+  int count[4] = {0, 0, 0, 0};
+  int prod_count[4] = {0, 0, 0, 0};
+  for (int i = 0; i < kDraws; ++i) {
+    ++count[s.sample(rng)];
+    ++prod_count[s.sample_productive(rng)];
+  }
+  EXPECT_EQ(count[1], 0);  // zero weight is never proposed
+  for (const u64 i : {0u, 2u, 3u}) {
+    const double expected =
+        kDraws * static_cast<double>(weights[i]) / 10.0;
+    EXPECT_NEAR(count[i], expected, 5 * std::sqrt(expected)) << i;
+  }
+  // Productive draws only hit the flagged ids, at ratio 1 : 6.
+  EXPECT_EQ(prod_count[1] + prod_count[2], 0);
+  EXPECT_NEAR(static_cast<double>(prod_count[0]) / kDraws, 1.0 / 7.0, 0.02);
+  EXPECT_NEAR(static_cast<double>(prod_count[3]) / kDraws, 6.0 / 7.0, 0.02);
+}
+
+TEST(DirectedEdgeSampler, TracksProtocolProductivityOnCompleteGraph) {
+  // On the complete graph every productive ordered *agent* pair is a
+  // productive directed edge, so the sampler's productive total must
+  // equal the protocol's productive weight — and stay equal through a
+  // whole run of fire() steps.
+  const u64 n = 12;
+  AgProtocol p(n);
+  Rng rng(7);
+  p.reset(initial::uniform_random(p, rng));
+  const InteractionGraph g = InteractionGraph::complete(n);
+  DirectedEdgeSampler es(g, p, p.configuration().to_agent_states());
+
+  while (es.pairs().productive_total() != 0) {
+    EXPECT_EQ(es.pairs().productive_total(), p.productive_weight());
+    EXPECT_EQ(es.pairs().weight_total(), n * (n - 1));
+    es.fire(p, es.pairs().sample_productive(rng));
+  }
+  EXPECT_TRUE(p.is_silent());
+  EXPECT_TRUE(p.is_valid_ranking());
+}
+
+TEST(DirectedEdgeSampler, SparseGraphIntersectsProductiveWeight) {
+  // On a sparse graph the productive-edge weight is the protocol's
+  // productive weight *intersected* with the edge set: recount it from
+  // scratch against δ after every step.
+  const u64 n = 10;
+  AgProtocol p(n);
+  Rng rng(11);
+  p.reset(initial::uniform_random(p, rng));
+  const InteractionGraph g = InteractionGraph::cycle(n);
+  DirectedEdgeSampler es(g, p, p.configuration().to_agent_states());
+
+  for (int step = 0; step < 100 && es.pairs().productive_total() != 0;
+       ++step) {
+    u64 recount = 0;
+    for (u64 d = 0; d < 2 * g.num_edges(); ++d) {
+      recount += es.is_productive(d) ? 1 : 0;
+      EXPECT_EQ(es.pairs().productive(d), es.is_productive(d)) << d;
+    }
+    EXPECT_EQ(es.pairs().productive_total(), recount);
+    EXPECT_LE(recount, p.productive_weight());
+    es.fire(p, es.pairs().sample_productive(rng));
+  }
+}
+
+}  // namespace
+}  // namespace pp

@@ -128,6 +128,70 @@ TEST(Rng, GeometricFailuresTinyProbabilityHasFiniteHugeMean) {
   EXPECT_LT(mean, 1e10);
 }
 
+TEST(Rng, GeometricFailuresTruncatedStaysBelowBound) {
+  Rng rng(31);
+  for (const double p : {0.9, 0.3, 0.01, 1e-6}) {
+    for (const u64 bound : {1ull, 2ull, 7ull, 100ull}) {
+      for (int i = 0; i < 200; ++i) {
+        EXPECT_LT(rng.geometric_failures_truncated(p, bound), bound);
+      }
+    }
+  }
+  // p = 1 always succeeds immediately.
+  EXPECT_EQ(rng.geometric_failures_truncated(1.0, 50), 0u);
+}
+
+TEST(Rng, GeometricFailuresTruncatedMatchesConditionedDistribution) {
+  // The truncated sampler must agree with "sample Geometric(p), condition
+  // on < bound" — compare frequencies against the exact conditional pmf
+  // q^k p / (1 - q^bound).
+  Rng rng(32);
+  const double p = 0.25;
+  const u64 bound = 6;
+  const int kDraws = 60000;
+  std::vector<int> freq(bound, 0);
+  for (int i = 0; i < kDraws; ++i) {
+    ++freq[rng.geometric_failures_truncated(p, bound)];
+  }
+  const double mass = 1.0 - std::pow(1.0 - p, static_cast<double>(bound));
+  for (u64 k = 0; k < bound; ++k) {
+    const double expected =
+        kDraws * std::pow(1.0 - p, static_cast<double>(k)) * p / mass;
+    EXPECT_NEAR(freq[k], expected, 5 * std::sqrt(expected) + 5) << k;
+  }
+}
+
+TEST(Rng, BinomialEdgeCases) {
+  Rng rng(33);
+  EXPECT_EQ(rng.binomial(0, 0.5), 0u);
+  EXPECT_EQ(rng.binomial(100, 0.0), 0u);
+  EXPECT_EQ(rng.binomial(100, 1.0), 100u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_LE(rng.binomial(10, 0.3), 10u);
+  }
+}
+
+TEST(Rng, BinomialMomentsMatchTheory) {
+  Rng rng(34);
+  // Both the sparse path and the p > 1/2 complement path.
+  for (const double p : {0.02, 0.3, 0.8}) {
+    const u64 m = 50;
+    const int kDraws = 20000;
+    double sum = 0, sum2 = 0;
+    for (int i = 0; i < kDraws; ++i) {
+      const double x = static_cast<double>(rng.binomial(m, p));
+      sum += x;
+      sum2 += x * x;
+    }
+    const double mean = sum / kDraws;
+    const double var = sum2 / kDraws - mean * mean;
+    const double expect_mean = m * p;
+    const double expect_var = m * p * (1 - p);
+    EXPECT_NEAR(mean, expect_mean, 5 * std::sqrt(expect_var / kDraws)) << p;
+    EXPECT_NEAR(var, expect_var, 0.1 * expect_var + 0.05) << p;
+  }
+}
+
 TEST(Rng, OrderedPairDistinct) {
   Rng rng(13);
   for (int i = 0; i < 10000; ++i) {

@@ -35,6 +35,18 @@ constexpr u64 kPinnedUniformProductive = 29;
 constexpr u64 kPinnedAcceleratedInteractions = 1543;
 constexpr u64 kPinnedAcceleratedProductive = 29;
 
+// Graph-restricted pins, recorded from the sampler-layer implementation
+// (see SchedulerGraph.PinnedTrajectoryRegression below): AG n=16,
+// uniform_random start; a to-silence run on K_16 (seed 42) and a
+// locally-stuck run on the 16-cycle (seed 47).
+constexpr u64 kPinnedGraphAcceleratedInteractions = 2505;
+constexpr u64 kPinnedGraphAcceleratedProductive = 29;
+constexpr u64 kPinnedGraphNaiveInteractions = 2208;
+constexpr u64 kPinnedGraphNaiveProductive = 29;
+constexpr u64 kPinnedCycleAcceleratedInteractions = 35;
+constexpr u64 kPinnedCycleNaiveInteractions = 58;
+constexpr u64 kPinnedCycleProductive = 3;
+
 RunResult run_via(const Scheduler& s, std::string_view proto, u64 n, u64 seed,
                   const RunOptions& opt = {}) {
   ProtocolPtr p = make_protocol(proto, n);
@@ -299,6 +311,44 @@ TEST(SchedulerGraph, CompleteGraphStabilisesTreeRanking) {
   }
 }
 
+// Pinned post-refactor trajectories for the graph-restricted scheduler on
+// the Fenwick-backed sampler layer (PR 4).  The naive path consumes the
+// generator exactly as the pre-refactor swap-remove implementation did
+// (unit weights make Fenwick::find the identity on the drawn target); the
+// accelerated path draws the same below(W) but maps targets in id order
+// rather than insertion order, so its literals were re-recorded at
+// refactor time.  Any change to the sampler layer's draw sequence fails
+// here — that is the point.
+TEST(SchedulerGraph, PinnedTrajectoryRegression) {
+  auto complete = std::make_shared<const InteractionGraph>(
+      InteractionGraph::complete(16));
+  auto cycle = std::make_shared<const InteractionGraph>(
+      InteractionGraph::cycle(16));
+  // A full run to silence on the unrestricted topology...
+  const GraphRestrictedScheduler acc_k(complete, /*accelerated=*/true);
+  const GraphRestrictedScheduler naive_k(complete, /*accelerated=*/false);
+  const RunResult a = run_via(acc_k, "ag", 16, /*seed=*/42);
+  EXPECT_TRUE(a.silent);
+  EXPECT_EQ(a.interactions, kPinnedGraphAcceleratedInteractions);
+  EXPECT_EQ(a.productive_steps, kPinnedGraphAcceleratedProductive);
+  const RunResult u = run_via(naive_k, "ag", 16, /*seed=*/42);
+  EXPECT_TRUE(u.silent);
+  EXPECT_EQ(u.interactions, kPinnedGraphNaiveInteractions);
+  EXPECT_EQ(u.productive_steps, kPinnedGraphNaiveProductive);
+  // ...and a locally stuck run on the cycle, pinning the stuck-detection
+  // path too.
+  const GraphRestrictedScheduler acc_c(cycle, /*accelerated=*/true);
+  const GraphRestrictedScheduler naive_c(cycle, /*accelerated=*/false);
+  const RunResult ca = run_via(acc_c, "ag", 16, /*seed=*/47);
+  EXPECT_FALSE(ca.silent);
+  EXPECT_EQ(ca.interactions, kPinnedCycleAcceleratedInteractions);
+  EXPECT_EQ(ca.productive_steps, kPinnedCycleProductive);
+  const RunResult cn = run_via(naive_c, "ag", 16, /*seed=*/47);
+  EXPECT_FALSE(cn.silent);
+  EXPECT_EQ(cn.interactions, kPinnedCycleNaiveInteractions);
+  EXPECT_EQ(cn.productive_steps, kPinnedCycleProductive);
+}
+
 TEST(SchedulerGraph, RespectsInteractionBudget) {
   const u64 n = 16;
   auto graph = std::make_shared<const InteractionGraph>(
@@ -335,6 +385,35 @@ TEST(SchedulerFactory, BuildsEveryKindWithMatchingNames) {
   EXPECT_EQ(rr.to_string(), "graph-restricted[random-4-regular]");
   EXPECT_EQ(make_scheduler(rr, 12)->name(),
             "graph-restricted[random-4-regular]");
+  // Non-default topology seeds are encoded: specs differing only in the
+  // random-regular seed must not collide in sinks or BENCH labels.
+  rr.graph_seed = 7;
+  EXPECT_EQ(rr.to_string(), "graph-restricted[random-4-regular/g7]");
+  EXPECT_EQ(make_scheduler(rr, 12)->name(), rr.to_string());
+  rr.graph_seed = 1;
+  SchedulerSpec wt;
+  wt.kind = SchedulerKind::kWeighted;
+  wt.kernel = WeightKernel::kRingDecay;
+  EXPECT_EQ(wt.to_string(), "weighted[ring-decay]");
+  wt.kernel_power = 2;
+  EXPECT_EQ(wt.to_string(), "weighted[ring-decay^2]");
+  EXPECT_EQ(make_scheduler(wt, 12)->name(), "weighted[ring-decay^2]");
+  SchedulerSpec dyn;
+  dyn.kind = SchedulerKind::kDynamicGraph;
+  dyn.graph = GraphKind::kCycle;
+  EXPECT_EQ(dyn.to_string(), "dynamic[cycle/markov]");
+  dyn.edge_birth = 0.005;
+  dyn.edge_death = 0.1;
+  EXPECT_EQ(dyn.to_string(), "dynamic[cycle/markov/b0.005/d0.1]");
+  EXPECT_EQ(make_scheduler(dyn, 12)->name(), dyn.to_string());
+  dyn = SchedulerSpec{};
+  dyn.kind = SchedulerKind::kDynamicGraph;
+  dyn.graph = GraphKind::kRandomRegular;
+  dyn.degree = 4;
+  dyn.dynamics = GraphDynamics::kPeriodicRewire;
+  dyn.rewire_period = 96;
+  EXPECT_EQ(dyn.to_string(), "dynamic[random-4-regular/rewire/T96]");
+  EXPECT_EQ(make_scheduler(dyn, 12)->name(), dyn.to_string());
   SchedulerSpec adv;
   adv.kind = SchedulerKind::kAdversarial;
   adv.adversary = AdversaryPolicy::kMaxLoad;
