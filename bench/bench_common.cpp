@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "protocols/factory.hpp"
+
 namespace pp::bench {
 namespace {
 
@@ -21,6 +23,7 @@ Context init(int argc, char** argv, const std::string& experiment_id,
   ctx.seed = std::strtoull(env_or("POPRANK_SEED", "0"), nullptr, 10);
   if (ctx.seed == 0) ctx.seed = kDefaultRootSeed;
   ctx.threads = std::strtoull(env_or("POPRANK_THREADS", "0"), nullptr, 10);
+  ctx.max_n = std::strtoull(env_or("POPRANK_MAX_N", "0"), nullptr, 10);
   ctx.csv_dir = env_or("POPRANK_CSV_DIR", "");
   if (std::strcmp(env_or("POPRANK_QUICK", "0"), "1") == 0) {
     ctx.size = Context::Size::kQuick;
@@ -36,6 +39,8 @@ Context init(int argc, char** argv, const std::string& experiment_id,
       ctx.seed = std::strtoull(a + 7, nullptr, 10);
     } else if (std::strncmp(a, "--threads=", 10) == 0) {
       ctx.threads = std::strtoull(a + 10, nullptr, 10);
+    } else if (std::strncmp(a, "--max-n=", 8) == 0) {
+      ctx.max_n = std::strtoull(a + 8, nullptr, 10);
     } else if (std::strncmp(a, "--csv=", 6) == 0) {
       ctx.csv_dir = a + 6;
     } else if (std::strcmp(a, "--quick") == 0) {
@@ -45,7 +50,7 @@ Context init(int argc, char** argv, const std::string& experiment_id,
     } else {
       std::fprintf(stderr,
                    "unknown flag %s (known: --trials= --seed= --threads= "
-                   "--csv= --quick --full)\n",
+                   "--max-n= --csv= --quick --full)\n",
                    a);
       std::exit(2);
     }
@@ -83,6 +88,16 @@ TrialSpec make_spec(const std::string& label, u64 n,
   return spec;
 }
 
+std::vector<u64> capped_sizes(const Context& ctx, std::vector<u64> sizes) {
+  const u64 cap = ctx.size_cap();
+  std::vector<u64> kept;
+  kept.reserve(sizes.size());
+  for (const u64 n : sizes) {
+    if (n <= cap) kept.push_back(n);
+  }
+  return kept;
+}
+
 RunnerOptions runner_options(const Context& ctx, u64 trials) {
   RunnerOptions opt;
   opt.trials = trials;
@@ -90,6 +105,42 @@ RunnerOptions runner_options(const Context& ctx, u64 trials) {
   opt.master_seed = ctx.seed;
   opt.keep_records = true;
   return opt;
+}
+
+void run_scale_section(
+    const Context& ctx, const std::string& title,
+    const std::string& label_prefix, const std::vector<u64>& sizes,
+    const std::function<std::vector<SchedulerSpec>(u64)>& menu) {
+  if (sizes.empty()) return;
+  const u64 trials = ctx.trials_or(ctx.quick() ? 2 : 3);
+  Table t(title + ", ag, parallel-time budget 5 (" + std::to_string(trials) +
+          " trials/point)");
+  t.headers({"scheduler", "n", "interactions", "prod. steps", "trials/s",
+             "wall s"});
+  for (const u64 n : sizes) {
+    for (const SchedulerSpec& sched : menu(n)) {
+      const std::string sched_name = sched.to_string();
+      TrialSpec spec = make_spec(
+          label_prefix + sched_name, n,
+          [n] { return make_protocol("ag", n); }, gen_uniform_random(),
+          /*max_interactions=*/5 * n);
+      spec.protocol = "ag";  // descriptive only
+      spec.engine = EngineKind::kScheduled;
+      spec.scheduler = sched;
+      const TrialSet set =
+          run_trials(spec, runner_options(ctx, trials), *ctx.pool);
+      warn_if_invalid(set, spec.label);
+      emit_bench_json(ctx, spec.label, n, 0, set);
+      t.row()
+          .cell(sched_name)
+          .cell(n)
+          .cell(set.stats.interactions.mean(), 0)
+          .cell(set.stats.productive_steps.mean(), 0)
+          .cell(set.trials_per_sec, 4)
+          .cell(set.wall_seconds, 3);
+    }
+  }
+  emit(ctx, t);
 }
 
 void emit_bench_json(const Context& ctx, const std::string& point, u64 n,

@@ -7,6 +7,11 @@
 //   --csv=DIR   / POPRANK_CSV_DIR    also dump every table as CSV
 //   --quick     / POPRANK_QUICK=1    smaller sweeps (CI-sized)
 //   --full      / POPRANK_FULL=1     larger sweeps (paper-sized)
+//   --max-n=N   / POPRANK_MAX_N      population cap applied to every sweep
+//                                    (0 = per-size default: quick caps at
+//                                    4096 so the large-n scale points stay
+//                                    opt-in for CI smoke steps, standard
+//                                    and full are uncapped)
 //
 // Measurement points fan their trials out over the parallel runner
 // (src/runner/), whose per-trial seed streams make the numbers identical
@@ -39,6 +44,7 @@ struct Context {
   u64 trials = 0;  ///< 0 = per-bench default
   u64 seed = kDefaultRootSeed;
   u64 threads = 0;  ///< runner pool size; 0 = hardware concurrency
+  u64 max_n = 0;   ///< population cap; 0 = per-size default (see header)
   std::string csv_dir;
   BenchLog bench_log;  ///< machine-readable per-point records (one run/file)
   enum class Size { kQuick, kStandard, kFull } size = Size::kStandard;
@@ -50,7 +56,32 @@ struct Context {
   u64 trials_or(u64 fallback) const { return trials != 0 ? trials : fallback; }
   bool quick() const { return size == Size::kQuick; }
   bool full() const { return size == Size::kFull; }
+
+  /// The effective population cap: an explicit --max-n wins; otherwise
+  /// quick mode keeps its historical sizes (the 10^4/10^5 scale points
+  /// would blow up sanitizer smoke steps), standard/full are uncapped.
+  u64 size_cap() const {
+    if (max_n != 0) return max_n;
+    return quick() ? 4096 : ~static_cast<u64>(0);
+  }
 };
+
+/// `sizes` filtered to the context's population cap (order preserved).
+std::vector<u64> capped_sizes(const Context& ctx, std::vector<u64> sizes);
+
+/// The shared large-n *scale section* of the scheduler benches: for each
+/// n in `sizes` (already capped by the caller), runs every scheduler
+/// `menu(n)` returns over the `ag` protocol under a parallel-time budget
+/// of 5 — budget-capped throughput points, not stabilisation (AG needs
+/// ~n² parallel time) — and emits one table row plus one BENCH record
+/// per point, labelled "<label_prefix><scheduler name>".  No-op when
+/// `sizes` is empty.  The label prefix is load-bearing: the figure
+/// script routes "s1-scale-..." records to the throughput panel, and
+/// the regression gate matches baselines by the full label.
+void run_scale_section(
+    const Context& ctx, const std::string& title,
+    const std::string& label_prefix, const std::vector<u64>& sizes,
+    const std::function<std::vector<SchedulerSpec>(u64)>& menu);
 
 /// Parses flags/environment, prints the experiment banner and truncates
 /// the BENCH_*.json file for this run.

@@ -46,6 +46,16 @@
 //                          headline contrast (ranking needs mixing, not
 //                          density), pinned by tests/test_weighted_dynamic.
 //
+// A second, *scale* section exercises the hierarchically-sampled models
+// (weighted kernels, sparse edge-Markovian) at n ∈ {10^4, 10^5} — the
+// range the dense pair universe could never reach — under a fixed
+// parallel-time budget: AG needs ~n² parallel time, so these points
+// measure *throughput at scale* (trials/s with every null skipped and
+// memory O(n)), not stabilisation.  They are labelled "s1-scale-..." so
+// the stabilisation figure keeps its panels honest, and they respect
+// --max-n (quick mode defaults to capping them away; CI raises the cap
+// per build type).
+//
 // The adversarial schedulers are deliberately absent here (O(states^2) per
 // step makes them a small-n tool); bench_adversarial drives them through
 // the same runner path and BENCH record format.
@@ -111,6 +121,34 @@ int run(const Context& ctx) {
     }
     emit(ctx, t);
   }
+
+  // ---- scale section: the hierarchical sampler at 10^4 .. 10^5 ----------
+  run_scale_section(
+      ctx, "S1 scale — hierarchical sampler throughput", "s1-scale-ag-",
+      capped_sizes(ctx, {10000, 100000}), [](u64 n) {
+        std::vector<SchedulerSpec> menu;
+        SchedulerSpec s;
+        s.kind = SchedulerKind::kAcceleratedUniform;  // reference row
+        menu.push_back(s);
+        s.kind = SchedulerKind::kWeighted;
+        s.kernel = WeightKernel::kUniform;
+        menu.push_back(s);
+        s.kernel = WeightKernel::kRingDecay;
+        menu.push_back(s);
+        s = SchedulerSpec{};
+        s.kind = SchedulerKind::kDynamicGraph;
+        s.graph = GraphKind::kCycle;
+        s.dynamics = GraphDynamics::kEdgeMarkovian;
+        // Scale the per-step death rate as 2/n so each edge refreshes ~2x
+        // per unit of parallel time at every n — holding the *per-step*
+        // rate fixed instead would make the topology mix ever faster
+        // relative to the protocol as n grows (and make the flip stream,
+        // which is Θ(n · death) work per step, quadratic in n).
+        s.edge_death = 2.0 / static_cast<double>(n);
+        menu.push_back(s);
+        return menu;
+      });
+
   std::printf(
       "model notes: parallel time is interactions/n except random-matching "
       "(rounds); \"unstab.\" counts budget exhaustion AND locally-stuck "

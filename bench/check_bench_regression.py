@@ -1,0 +1,196 @@
+#!/usr/bin/env python3
+"""Per-commit bench-regression gate over the BENCH_*.json records.
+
+Compares the current run's machine-readable bench records against the
+committed baselines in bench/baselines/ and fails (exit 1) when any
+matched measurement point regressed:
+
+  * mean parallel stabilisation time grew by more than --factor (default
+    2x).  The runner's per-trial seed streams make this number
+    *deterministic* for a fixed (seed, trials) — identical across thread
+    counts, build types and machines — so a trip is a semantic change in
+    the simulation, never scheduling noise;
+  * a point that used to stabilise within its budget now strands every
+    trial (timeouts == trials where the baseline had headroom);
+  * optionally, trials/s fell by more than --throughput-factor.  Off by
+    default: wall-clock throughput is machine-dependent, so it only means
+    something when baseline and current ran on comparable hardware.
+
+Points are matched by (point label, n, param, trials); trials is part of
+the key because the deterministic mean is a function of the trial count.
+Points present on only one side are reported but never fail the gate —
+CI legitimately runs different subsets per build type (--max-n), and new
+benches should not need a baseline to land.
+
+Stdlib-only on purpose, like the figure script: the gate runs on any CI
+runner straight after the bench step.
+
+Usage:
+  check_bench_regression.py --bench-dir build [--baseline-dir bench/baselines]
+  check_bench_regression.py --bench-dir build --update-baseline
+
+  --bench-dir          where the current BENCH_*.json files live
+  --baseline-dir       committed baselines (default: bench/baselines next
+                       to this script)
+  --factor             mean-parallel-time regression factor (default 2.0)
+  --throughput-factor  trials/s regression factor; 0 disables (default 0)
+  --update-baseline    rewrite the baselines from the current records
+                       (normalised: stable fields only, sorted), then exit
+
+Refreshing baselines after an intentional perf/semantics change (the
+invocations must match CI's — trials is part of the match key):
+  cd build && ./bench_scheduler_comparison --quick --trials=3 --max-n=100000
+  ./bench_hostile_sweep --quick --trials=2 --max-n=10000
+  ./bench_whp_concentration --quick --trials=3
+  python3 ../bench/check_bench_regression.py --bench-dir . --update-baseline
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+# The stable, machine-independent fields a baseline keeps per point.
+STABLE_FIELDS = ("point", "n", "param", "trials", "mean_parallel_time",
+                 "timeouts", "invalid")
+# Kept for human reference and --throughput-factor; machine-dependent.
+REFERENCE_FIELDS = ("trials_per_sec",)
+
+
+def load_records(path):
+    """(experiment id, {match key: point record})."""
+    experiment = None
+    points = {}
+    with open(path, "r", encoding="utf-8") as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            rec = json.loads(line)
+            if rec.get("kind") == "run":
+                experiment = rec.get("experiment")
+            elif rec.get("kind") in ("point", "baseline-point"):
+                key = (rec["point"], rec["n"], rec["param"], rec["trials"])
+                points[key] = rec
+    return experiment, points
+
+
+def write_baseline(path, experiment, points):
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(json.dumps({"kind": "baseline",
+                            "experiment": experiment}) + "\n")
+        for key in sorted(points, key=lambda k: (k[0], k[1], k[2])):
+            rec = points[key]
+            slim = {"kind": "baseline-point"}
+            for field in STABLE_FIELDS + REFERENCE_FIELDS:
+                slim[field] = rec.get(field)
+            f.write(json.dumps(slim) + "\n")
+
+
+def fmt_key(key):
+    point, n, param, trials = key
+    return f"{point} (n={n}, param={param:g}, trials={trials})"
+
+
+def compare(name, base_points, cur_points, factor, throughput_factor):
+    """Returns (failures, notes) for one experiment's record pair."""
+    failures = []
+    notes = []
+    matched = 0
+    for key, cur in sorted(cur_points.items()):
+        base = base_points.get(key)
+        if base is None:
+            notes.append(f"  new point (no baseline): {fmt_key(key)}")
+            continue
+        matched += 1
+        bt, ct = base["mean_parallel_time"], cur["mean_parallel_time"]
+        if bt > 0 and ct > factor * bt:
+            failures.append(
+                f"  {fmt_key(key)}: mean parallel time {ct:g} vs baseline "
+                f"{bt:g} (> {factor:g}x)"
+            )
+        elif bt > 0 and ct * factor < bt:
+            notes.append(
+                f"  improvement (> {factor:g}x): {fmt_key(key)} "
+                f"{bt:g} -> {ct:g} — consider --update-baseline"
+            )
+        if (cur["timeouts"] == cur["trials"]
+                and base["timeouts"] < base["trials"]):
+            failures.append(
+                f"  {fmt_key(key)}: every trial now strands "
+                f"({cur['timeouts']}/{cur['trials']}; baseline "
+                f"{base['timeouts']}/{base['trials']})"
+            )
+        if throughput_factor > 0:
+            btp = base.get("trials_per_sec") or 0
+            ctp = cur.get("trials_per_sec") or 0
+            if btp > 0 and ctp * throughput_factor < btp:
+                failures.append(
+                    f"  {fmt_key(key)}: throughput {ctp:g} trials/s vs "
+                    f"baseline {btp:g} (> {throughput_factor:g}x slower)"
+                )
+    missing = len(base_points.keys() - cur_points.keys())
+    print(f"{name}: {matched} matched, {len(cur_points) - matched} new, "
+          f"{missing} baseline-only, {len(failures)} regression(s)")
+    return failures, notes
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--bench-dir", required=True)
+    ap.add_argument("--baseline-dir",
+                    default=os.path.join(os.path.dirname(
+                        os.path.abspath(__file__)), "baselines"))
+    ap.add_argument("--factor", type=float, default=2.0)
+    ap.add_argument("--throughput-factor", type=float, default=0.0)
+    ap.add_argument("--update-baseline", action="store_true")
+    args = ap.parse_args()
+
+    current = sorted(glob.glob(os.path.join(args.bench_dir, "BENCH_*.json")))
+    if not current:
+        sys.exit(f"no BENCH_*.json in {args.bench_dir} — run the benches "
+                 "first")
+
+    if args.update_baseline:
+        os.makedirs(args.baseline_dir, exist_ok=True)
+        for path in current:
+            experiment, points = load_records(path)
+            out = os.path.join(args.baseline_dir, os.path.basename(path))
+            write_baseline(out, experiment, points)
+            print(f"baseline updated: {out} ({len(points)} points)")
+        return
+
+    all_failures = []
+    checked = 0
+    for path in current:
+        name = os.path.basename(path)
+        base_path = os.path.join(args.baseline_dir, name)
+        if not os.path.exists(base_path):
+            print(f"{name}: no committed baseline — skipped "
+                  f"(add one with --update-baseline)")
+            continue
+        _, base_points = load_records(base_path)
+        _, cur_points = load_records(path)
+        failures, notes = compare(name, base_points, cur_points,
+                                  args.factor, args.throughput_factor)
+        for note in notes:
+            print(note)
+        all_failures.extend(f"{name}:\n{f}" for f in failures)
+        checked += 1
+
+    if checked == 0:
+        print("WARNING: no experiment had a committed baseline; the gate "
+              "checked nothing")
+    if all_failures:
+        print("\nBENCH REGRESSION GATE FAILED:")
+        for f in all_failures:
+            print(f)
+        sys.exit(1)
+    print("bench regression gate: OK")
+
+
+if __name__ == "__main__":
+    main()

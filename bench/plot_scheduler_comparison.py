@@ -32,12 +32,16 @@ BENCH_FILE = "BENCH_s1-protocols-under-alternative-schedulers.json"
 # Point labels are "s1-<protocol>-<scheduler>" where both halves may
 # contain hyphens (tree-ranking, accelerated-uniform); the scheduler half
 # always starts with a registered kind name, so anchor the split there.
-POINT_RE = re.compile(
-    r"^s1-(.+?)-("
+SCHED_ALT = (
     r"accelerated-uniform$|uniform$|random-matching$|"
     r"(?:weighted|dynamic|graph-restricted|churn|partition|adversarial)\[.*"
-    r")$"
 )
+POINT_RE = re.compile(r"^s1-(.+?)-(" + SCHED_ALT + r")$")
+
+# The budget-capped large-n throughput points ("s1-scale-<protocol>-...").
+# They never stabilise by design, so they feed their own throughput panel
+# instead of the stabilisation panels.
+SCALE_RE = re.compile(r"^s1-scale-(.+?)-(" + SCHED_ALT + r")$")
 
 # Categorical slot 1 (blue) for the measured bars, the reserved "serious"
 # status red for models that never stabilised, and text/grid inks — the
@@ -53,8 +57,10 @@ FONT = "ui-sans-serif, system-ui, 'Helvetica Neue', Arial, sans-serif"
 
 
 def load_points(path):
-    """point label 's1-<protocol>-<scheduler>' -> {(proto, sched, n): rec}."""
+    """Splits records into stabilisation points ({(proto, sched, n): rec})
+    and large-n throughput points ([(proto, sched, rec), ...])."""
     points = {}
+    scale = []
     with open(path, "r", encoding="utf-8") as f:
         for line in f:
             line = line.strip()
@@ -63,12 +69,16 @@ def load_points(path):
             rec = json.loads(line)
             if rec.get("kind") != "point":
                 continue
+            m = SCALE_RE.match(rec["point"])
+            if m:
+                scale.append((m.group(1), m.group(2), rec))
+                continue
             m = POINT_RE.match(rec["point"])
             if not m:
                 continue
             proto, sched = m.group(1), m.group(2)
             points[(proto, sched, rec["n"])] = rec
-    return points
+    return points, scale
 
 
 def largest_n(points):
@@ -180,7 +190,58 @@ def svg_panel(out, proto, rows, x0, y0, width):
     return height + 18
 
 
-def render_svg(by_proto, out_path):
+def svg_scale_panel(out, rows, x0, y0, width):
+    """The large-n throughput panel: one bar per (scheduler, n), width
+    proportional to trials/s.  Returns the panel height.
+
+    These points are budget-capped (AG cannot stabilise at 10^4..10^5 in
+    any reasonable wall time), so throughput — how fast the hierarchical
+    sampler pushes a fixed parallel-time budget — is the number the
+    per-commit trajectory tracks here.
+    """
+    row_h = 26
+    bar_h = 14
+    label_w = 300
+    value_w = 120
+    plot_w = width - label_w - value_w
+    top_pad = 34
+    height = top_pad + row_h * len(rows) + 14
+
+    max_tps = max(max(r["trials_per_sec"] for _, _, r in rows), 1e-9)
+    out.append(
+        f'<text x="{x0}" y="{y0 + 16}" font-family="{FONT}" font-size="15" '
+        f'font-weight="600" fill="{INK}">large-n scale — runner throughput '
+        f"under a fixed parallel-time budget</text>"
+    )
+    for i, (proto, sched, rec) in enumerate(rows):
+        cy = y0 + top_pad + i * row_h
+        tps = rec["trials_per_sec"]
+        w = max(plot_w * tps / max_tps, 4.0)
+        label = f"{proto} · {sched} @ n={rec['n']:,}"
+        out.append(
+            f'<text x="{x0 + label_w - 10}" y="{cy + bar_h - 2}" '
+            f'font-family="{FONT}" font-size="12" fill="{INK}" '
+            f'text-anchor="end">{esc(label)}</text>'
+        )
+        out.append(
+            f'<path d="M {x0 + label_w} {cy} h {w - 4:.1f} '
+            f"q 4 0 4 4 v {bar_h - 8} q 0 4 -4 4 "
+            f'h {-(w - 4):.1f} z" fill="{BAR}"/>'
+        )
+        out.append(
+            f'<text x="{x0 + label_w + w + 8:.1f}" y="{cy + bar_h - 2}" '
+            f'font-family="{FONT}" font-size="11" fill="{INK_MUTED}">'
+            f"{tps:,.2f} trials/s</text>"
+        )
+    return height + 18
+
+
+def scale_order(row):
+    proto, sched, rec = row
+    return (proto, rec["n"], -rec["trials_per_sec"], sched)
+
+
+def render_svg(by_proto, scale_rows, out_path):
     width = 860
     x0, y_cursor = 20, 20
     body = []
@@ -199,6 +260,11 @@ def render_svg(by_proto, out_path):
     for proto in sorted(by_proto):
         rows = sorted(by_proto[proto], key=row_order)
         y_cursor += svg_panel(body, proto, rows, x0, y_cursor, width - 2 * x0)
+    if scale_rows:
+        y_cursor += svg_scale_panel(
+            body, sorted(scale_rows, key=scale_order), x0, y_cursor,
+            width - 2 * x0
+        )
     height = y_cursor + 10
     with open(out_path, "w", encoding="utf-8") as f:
         f.write(
@@ -222,14 +288,15 @@ def main():
             f"no {BENCH_FILE} in {args.bench_dir} — run "
             "bench_scheduler_comparison first (any --quick/--trials setting)"
         )
-    by_proto = largest_n(load_points(path))
-    if not by_proto:
+    points, scale_rows = load_points(path)
+    by_proto = largest_n(points)
+    if not by_proto and not scale_rows:
         sys.exit(f"{path} contains no point records")
 
     out_path = args.out or os.path.join(
         args.bench_dir, "scheduler_comparison.svg"
     )
-    render_svg(by_proto, out_path)
+    render_svg(by_proto, scale_rows, out_path)
 
     for proto in sorted(by_proto):
         rows = sorted(by_proto[proto], key=row_order)
@@ -240,6 +307,13 @@ def main():
             if rec["timeouts"]:
                 flag += f"  [{rec['timeouts']}/{rec['trials']} unstab.]"
             print(f"  {sched:36s} {rec['mean_parallel_time']:12,.1f}{flag}")
+    if scale_rows:
+        print("large-n scale (budget-capped throughput):")
+        for proto, sched, rec in sorted(scale_rows, key=scale_order):
+            print(
+                f"  {proto} · {sched:36s} n={rec['n']:>7,} "
+                f"{rec['trials_per_sec']:10,.2f} trials/s"
+            )
     print(f"wrote {out_path}")
 
 

@@ -43,6 +43,16 @@
 //     — bit-for-bit the distribution of flipping every edge every step,
 //     at O(flips + productive steps + events) cost.
 //
+// The edge-Markovian model stores only the *present* edge set by default
+// (a hash-indexed roster on schedulers/pair_sampler's DirectedPairRoster:
+// O(n + present edges) memory), sampling birth victims by rejection
+// against it — exact, because the absent set is the complement of a thin
+// present set in the arithmetic pair universe.  That lifts the model from
+// the old dense-list cap of n = 4096 to the n ~ 10^5 the uniform engines
+// handle.  The dense two-list implementation survives behind
+// SchedulerSpec::dense_reference ("dynamic[G/markov/dense-ref]") as the
+// reference the cross-validation tests pin the sparse path against.
+//
 // A locally stuck configuration does not stop a dynamic run (the topology
 // will change); termination is true silence, budget exhaustion, observer
 // abort, or — only when the dynamics themselves are frozen (no flippable
@@ -95,6 +105,7 @@ class DynamicGraphScheduler final : public Scheduler {
   double birth_;
   double death_;
   u64 period_;
+  bool dense_reference_;
   std::string name_;
 };
 

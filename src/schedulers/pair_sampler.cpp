@@ -1,5 +1,8 @@
 #include "schedulers/pair_sampler.hpp"
 
+#include <algorithm>
+#include <limits>
+
 #include "common/assert.hpp"
 
 namespace pp {
@@ -65,6 +68,255 @@ void DirectedEdgeSampler::fire(Protocol& p, u64 directed) {
     refresh(2 * static_cast<u64>(e));
     refresh(2 * static_cast<u64>(e) + 1);
   }
+}
+
+// ---- DistanceKernel -------------------------------------------------------
+
+namespace {
+
+// Running u64 accumulation with a 128-bit shadow; the cap is i64 max, not
+// u64 max, because Fenwick point updates travel as signed deltas
+// (Fenwick::set) and the productive tree must be able to hold any partial
+// sum of kernel weights.
+class CheckedSum {
+ public:
+  void add(u64 v) {
+    sum_ += v;
+    PP_ASSERT_MSG(
+        sum_ <= static_cast<unsigned __int128>(
+                    std::numeric_limits<i64>::max()),
+        "kernel weight total overflows the sampler's 63-bit range — "
+        "reduce n or the kernel power");
+  }
+  u64 value() const { return static_cast<u64>(sum_); }
+
+ private:
+  unsigned __int128 sum_ = 0;
+};
+
+}  // namespace
+
+DistanceKernel::DistanceKernel(Geometry g, u64 n, std::vector<u64> decay)
+    : geom_(g), n_(n) {
+  PP_ASSERT_MSG(n >= 2, "distance kernel needs n >= 2");
+  const u64 expected = g == Geometry::kRing ? n / 2 : n - 1;
+  PP_ASSERT_MSG(decay.size() == expected,
+                "decay profile length must match the geometry "
+                "(floor(n/2) on the ring, n-1 on the line)");
+  prefix_.resize(decay.size() + 1);
+  prefix_[0] = 0;
+  CheckedSum prefix_sum;
+  for (u64 d = 0; d < decay.size(); ++d) {
+    PP_ASSERT_MSG(decay[d] > 0,
+                  "kernel weights must be positive at every distance "
+                  "(a zero would sever pairs)");
+    prefix_sum.add(decay[d]);
+    prefix_[d + 1] = prefix_sum.value();
+  }
+  CheckedSum total;
+  if (geom_ == Geometry::kRing) {
+    // Every row sees the clockwise arm of floor(n/2) distances plus the
+    // counter-clockwise arm of the remaining n-1-floor(n/2); for even n
+    // the antipodal partner appears only in the first arm.
+    const u64 a = n_ / 2;
+    const u64 b = n_ - 1 - a;
+    CheckedSum row;
+    row.add(prefix_[a]);
+    row.add(prefix_[b]);
+    ring_row_ = row.value();
+    for (u64 i = 0; i < n_; ++i) total.add(ring_row_);
+  } else {
+    row_prefix_.resize(n_ + 1);
+    row_prefix_[0] = 0;
+    for (u64 i = 0; i < n_; ++i) {
+      total.add(prefix_[i]);
+      total.add(prefix_[n_ - 1 - i]);
+      row_prefix_[i + 1] = total.value();
+    }
+  }
+  total_ = total.value();
+}
+
+u64 DistanceKernel::weight(u64 i, u64 j) const {
+  PP_DCHECK(i != j && i < n_ && j < n_);
+  const u64 gap = i > j ? i - j : j - i;
+  const u64 d = geom_ == Geometry::kRing ? std::min(gap, n_ - gap) : gap;
+  return prefix_[d] - prefix_[d - 1];
+}
+
+u64 DistanceKernel::row_total(u64 i) const {
+  PP_DCHECK(i < n_);
+  if (geom_ == Geometry::kRing) return ring_row_;
+  return prefix_[i] + prefix_[n_ - 1 - i];
+}
+
+u64 DistanceKernel::find_distance(u64 target) const {
+  // Smallest d >= 1 with prefix_[d] > target; the profile is strictly
+  // increasing so upper_bound lands exactly.
+  const auto it = std::upper_bound(prefix_.begin(), prefix_.end(), target);
+  PP_DCHECK(it != prefix_.end());
+  return static_cast<u64>(it - prefix_.begin());
+}
+
+u64 DistanceKernel::sample_partner(Rng& rng, u64 i) const {
+  const u64 target = rng.below(row_total(i));
+  if (geom_ == Geometry::kRing) {
+    const u64 a = n_ / 2;
+    if (target < prefix_[a]) return (i + find_distance(target)) % n_;
+    return (i + n_ - find_distance(target - prefix_[a])) % n_;
+  }
+  if (target < prefix_[i]) return i - find_distance(target);
+  return i + find_distance(target - prefix_[i]);
+}
+
+std::pair<u64, u64> DistanceKernel::sample_pair(Rng& rng) const {
+  u64 i;
+  if (geom_ == Geometry::kRing) {
+    i = rng.below(n_);  // all ring rows carry the same marginal
+  } else {
+    const u64 target = rng.below(total_);
+    const auto it = std::upper_bound(row_prefix_.begin(), row_prefix_.end(),
+                                     target);
+    i = static_cast<u64>(it - row_prefix_.begin()) - 1;
+  }
+  return {i, sample_partner(rng, i)};
+}
+
+// ---- GroupedKernelSampler -------------------------------------------------
+
+GroupedKernelSampler::GroupedKernelSampler(const DistanceKernel& kernel,
+                                           const Protocol& p,
+                                           std::vector<StateId> placement)
+    : kernel_(&kernel), p_(&p), state_(std::move(placement)) {
+  const u64 n = state_.size();
+  PP_ASSERT_MSG(n == kernel.n(), "kernel size != population size");
+  PP_ASSERT_MSG(p.num_extra_states() == 0,
+                "the grouped kernel sampler needs a same-state-productive "
+                "protocol (no extra states); extra-state protocols take "
+                "the dense reference path");
+  group_.resize(p.num_states());
+  slot_.resize(n);
+  for (u64 a = 0; a < n; ++a) {
+    std::vector<u32>& g = group_[state_[a]];
+    slot_[a] = static_cast<u32>(g.size());
+    g.push_back(static_cast<u32>(a));
+  }
+  // Bulk-build the per-state within-group masses: every same-state rule of
+  // an extra-state-free protocol changes the configuration, so a state's
+  // productive mass IS its ordered within-group kernel mass.
+  std::vector<u64> mass(p.num_states(), 0);
+  for (u64 s = 0; s < group_.size(); ++s) {
+    const std::vector<u32>& g = group_[s];
+    u64 m = 0;
+    for (u64 x = 0; x < g.size(); ++x) {
+      for (u64 y = x + 1; y < g.size(); ++y) {
+        m += 2 * kernel_->weight(g[x], g[y]);
+      }
+    }
+    mass[s] = m;
+  }
+  productive_.assign(std::move(mass));
+}
+
+u64 GroupedKernelSampler::member_mass(u64 a,
+                                      const std::vector<u32>& group) const {
+  u64 m = 0;
+  for (const u32 x : group) {
+    if (x != a) m += 2 * kernel_->weight(a, x);
+  }
+  return m;
+}
+
+std::pair<u64, u64> GroupedKernelSampler::sample_productive(Rng& rng) const {
+  PP_DCHECK(productive_.total() > 0);
+  const StateId s =
+      static_cast<StateId>(productive_.find(rng.below(productive_.total())));
+  const std::vector<u32>& g = group_[s];
+  u64 target = rng.below(productive_.get(s));
+  // Resolve the pair inside the group: the stored mass is exactly
+  // Σ_{x<y} 2 w(x, y), so the scan must land.  Each unordered pair covers
+  // its two orientations contiguously (forward first).
+  for (u64 x = 0; x < g.size(); ++x) {
+    for (u64 y = x + 1; y < g.size(); ++y) {
+      const u64 w = kernel_->weight(g[x], g[y]);
+      if (target < 2 * w) {
+        return target < w ? std::make_pair<u64, u64>(g[x], g[y])
+                          : std::make_pair<u64, u64>(g[y], g[x]);
+      }
+      target -= 2 * w;
+    }
+  }
+  PP_ASSERT_MSG(false, "grouped sampler mass out of sync with its group");
+  return {0, 0};
+}
+
+void GroupedKernelSampler::move_agent(u64 a, StateId from, StateId to) {
+  std::vector<u32>& f = group_[from];
+  const u32 idx = slot_[a];
+  const u32 moved = f.back();
+  f[idx] = moved;
+  slot_[moved] = idx;
+  f.pop_back();
+  productive_.set(from, productive_.get(from) - member_mass(a, f));
+  std::vector<u32>& t = group_[to];
+  productive_.set(to, productive_.get(to) + member_mass(a, t));
+  slot_[a] = static_cast<u32>(t.size());
+  t.push_back(static_cast<u32>(a));
+  state_[a] = to;
+}
+
+void GroupedKernelSampler::fire(Protocol& p, u64 i, u64 j) {
+  PP_DCHECK(&p == p_);
+  const StateId si = state_[i];
+  const StateId sj = state_[j];
+  const auto [ni, nj] = p.apply_pair(si, sj);
+  PP_DCHECK(ni != si || nj != sj);
+  if (ni != si) move_agent(i, si, ni);
+  if (nj != sj) move_agent(j, sj, nj);
+}
+
+// ---- DirectedPairRoster ---------------------------------------------------
+
+DirectedPairRoster::DirectedPairRoster(u64 initial_capacity) {
+  capacity_ = std::max<u64>(initial_capacity, 4);
+  pairs_.reset(2 * capacity_);
+}
+
+void DirectedPairRoster::grow(u64 new_capacity) {
+  std::vector<u64> weights(2 * new_capacity, 0);
+  std::vector<u8> flags(2 * new_capacity, 0);
+  for (u64 d = 0; d < 2 * size_; ++d) {
+    weights[d] = pairs_.weight(d);
+    flags[d] = pairs_.productive(d) ? 1 : 0;
+  }
+  capacity_ = new_capacity;
+  pairs_.reset(std::move(weights), std::move(flags));
+}
+
+u64 DirectedPairRoster::add(bool fwd_productive, bool rev_productive) {
+  if (size_ == capacity_) grow(2 * capacity_);
+  const u64 e = size_++;
+  pairs_.set_productive(2 * e, fwd_productive);
+  pairs_.set_productive(2 * e + 1, rev_productive);
+  pairs_.set_weight(2 * e, 1);
+  pairs_.set_weight(2 * e + 1, 1);
+  return e;
+}
+
+u64 DirectedPairRoster::remove(u64 e) {
+  PP_DCHECK(e < size_);
+  const u64 back = size_ - 1;
+  if (e != back) {
+    // Swap-fill the hole with the back entry's slots.
+    pairs_.set_productive(2 * e, pairs_.productive(2 * back));
+    pairs_.set_productive(2 * e + 1, pairs_.productive(2 * back + 1));
+  }
+  pairs_.set_weight(2 * back, 0);
+  pairs_.set_weight(2 * back + 1, 0);
+  pairs_.set_productive(2 * back, false);
+  pairs_.set_productive(2 * back + 1, false);
+  size_ = back;
+  return e != back ? back : kNoEntry;
 }
 
 }  // namespace pp

@@ -27,6 +27,28 @@
 // productivity against δ themselves, and tell the sampler.
 // DirectedEdgeSampler below is the graph-shaped glue used by the
 // graph-restricted and dynamic-graph schedulers.
+//
+// Scaling past the dense universe.  A flat PairSampler over all n(n-1)
+// ordered pairs is the *reference* construction: transparent, exactly
+// incremental, and Θ(n²) in memory — which caps it near n = 4096.  The
+// second half of this header is the sparse/hierarchical replacement that
+// lifts the weighted and dynamic models to the n ~ 10^5 the uniform
+// engines handle:
+//
+//   * DistanceKernel — a translation-invariant kernel w(i, j) = K(d(i, j))
+//     held in closed form: O(n) prefix tables, O(log n) weighted pair
+//     sampling, u64-overflow-checked totals.  The weight function is
+//     *evaluated*, never materialised.
+//   * GroupedKernelSampler — the two-level productive sampler for
+//     protocols whose productive pairs are exactly the same-state pairs
+//     (every extra-state-free protocol in this library): a top-level
+//     Fenwick over per-state within-group kernel mass, partners resolved
+//     inside the (small) group.  O(n) memory, O(log n + group²) sampling,
+//     O(group) weight update per state change — against the dense path's
+//     Θ(n²) memory and Θ(n log n) update.
+//   * DirectedPairRoster — a compacting weight-1 PairSampler window for
+//     rosters that grow and shrink (the edge-Markovian present set):
+//     memory tracks the *live* edge count, not the pair universe.
 #pragma once
 
 #include <utility>
@@ -173,6 +195,183 @@ class DirectedEdgeSampler {
   const Protocol* p_;
   std::vector<StateId> state_;
   PairSampler pairs_;
+};
+
+/// A translation-invariant pair-weight kernel w(i, j) = K(d(i, j)) over n
+/// positions, held in closed form instead of as a dense table: one prefix
+/// array over the decay profile K (plus, on the line, one over the row
+/// totals) answers every query the dense Θ(n²) table answered —
+/// pair weight, row marginal, grand total, and weight-proportional
+/// sampling of a pair or of a partner given one endpoint — in O(log n)
+/// from O(n) memory.  This is the top level of the hierarchical sampler:
+/// the weight function is evaluated on demand, never materialised.
+///
+/// Geometry picks the distance: kRing wraps (d = min(|i-j|, n-|i-j|),
+/// profile length floor(n/2)), kLine does not (d = |i-j|, profile length
+/// n-1).  The profile must be positive everywhere (a zero-weight distance
+/// would sever pairs and break the "weighted runs cannot get locally
+/// stuck" guarantee).  Construction checks that the grand total fits u64
+/// exactly (128-bit accumulation) — the principled replacement for the
+/// dense path's blanket population cap.
+class DistanceKernel {
+ public:
+  enum class Geometry { kRing, kLine };
+
+  /// `decay[d - 1]` is K(d) for d = 1..decay.size(); the profile length
+  /// must match the geometry (see above).
+  DistanceKernel(Geometry g, u64 n, std::vector<u64> decay);
+
+  u64 n() const { return n_; }
+  Geometry geometry() const { return geom_; }
+
+  /// Kernel weight of ordered pair (i, j).  Requires i != j; symmetric by
+  /// construction.
+  u64 weight(u64 i, u64 j) const;
+
+  /// Row marginal: sum of w(i, j) over all j != i.
+  u64 row_total(u64 i) const;
+
+  /// Grand total over all n(n-1) ordered pairs.
+  u64 total() const { return total_; }
+
+  /// Samples ordered pair (i, j) with probability w(i, j) / total().
+  std::pair<u64, u64> sample_pair(Rng& rng) const;
+
+  /// Samples j with probability w(i, j) / row_total(i).
+  u64 sample_partner(Rng& rng, u64 i) const;
+
+  /// Number of u64 slots held — tests pin this at O(n) to prove the
+  /// hierarchical path never re-grows a dense pair universe.
+  u64 memory_slots() const { return prefix_.size() + row_prefix_.size(); }
+
+ private:
+  /// Smallest d with prefix_[d] > target (i.e. inverts the decay-profile
+  /// CDF; target < prefix_.back()).
+  u64 find_distance(u64 target) const;
+
+  Geometry geom_;
+  u64 n_ = 0;
+  std::vector<u64> prefix_;      // prefix_[d] = K(1) + ... + K(d)
+  std::vector<u64> row_prefix_;  // kLine only: prefix sums of row totals
+  u64 ring_row_ = 0;             // kRing: the (shared) row marginal
+  u64 total_ = 0;
+};
+
+/// The two-level productive sampler over a DistanceKernel: level one is a
+/// Fenwick across *states* carrying each state's within-group ordered
+/// kernel mass, level two resolves the pair inside the (small) group of
+/// agents currently sharing that state.
+///
+/// Scope: protocols whose productive pairs are exactly the same-state
+/// pairs — equivalently, num_extra_states() == 0 under this library's
+/// protocol backbone (every rank state carries a same-state rule that
+/// changes the configuration, and distinct-rank pairs are null).  The
+/// constructor enforces the extra-state half; protocols with extra states
+/// take the dense reference path instead.
+///
+/// Costs, with g the size of the groups touched (O(log n / log log n)
+/// under a uniform random placement):  O(n) memory, O(log n + g²) per
+/// productive sample, O(g + log n) per agent state change — against the
+/// dense path's Θ(n²) memory and Θ(n log n) per productive step.  Both
+/// totals (kernel total, productive total) are exact, so the accelerated
+/// geometric null-skipping construction carries over unchanged.
+class GroupedKernelSampler {
+ public:
+  /// `placement` maps position -> current state; the kernel fixes n.
+  GroupedKernelSampler(const DistanceKernel& kernel, const Protocol& p,
+                       std::vector<StateId> placement);
+
+  u64 weight_total() const { return kernel_->total(); }
+  u64 productive_total() const { return productive_.total(); }
+
+  /// Per-step probability that a weight-proportional draw is productive.
+  double productive_probability() const {
+    return static_cast<double>(productive_.total()) /
+           static_cast<double>(kernel_->total());
+  }
+
+  /// Samples a productive ordered pair of positions with probability
+  /// proportional to its kernel weight.  Precondition:
+  /// productive_total() > 0.
+  std::pair<u64, u64> sample_productive(Rng& rng) const;
+
+  /// Applies δ at positions (i, j) — which must currently be productive —
+  /// through p.apply_pair and migrates the agents between groups.
+  void fire(Protocol& p, u64 i, u64 j);
+
+  const std::vector<StateId>& states() const { return state_; }
+
+  /// Within-group ordered kernel mass of state s (exposed for the
+  /// dense-vs-hierarchical cross-validation tests).
+  u64 group_mass(StateId s) const { return productive_.get(s); }
+
+ private:
+  /// Σ over members x of group (excluding position a itself, if present)
+  /// of w(a, x) + w(x, a) — the ordered mass position a contributes.
+  u64 member_mass(u64 a, const std::vector<u32>& group) const;
+
+  void move_agent(u64 a, StateId from, StateId to);
+
+  const DistanceKernel* kernel_;
+  const Protocol* p_;
+  std::vector<StateId> state_;            // per position
+  std::vector<std::vector<u32>> group_;   // per state: member positions
+  std::vector<u32> slot_;                 // position -> index in its group
+  Fenwick productive_;                    // per state: within-group mass
+};
+
+/// A compacting window over PairSampler for entry sets that grow and
+/// shrink: live entries occupy indices [0, size()), each owning two
+/// directed slots (2e for entry e's forward orientation, 2e+1 for the
+/// reverse) of scheduling weight 1 with independent productivity flags.
+/// remove() swap-fills the hole from the back — the caller learns which
+/// entry moved and repoints its own bookkeeping — and add() doubles the
+/// Fenwick capacity by O(capacity) rebuild when the roster outgrows it,
+/// so memory tracks the live entry count, never a pair universe.  This is
+/// the sparse edge-Markovian model's present-edge store.
+class DirectedPairRoster {
+ public:
+  static constexpr u64 kNoEntry = ~static_cast<u64>(0);
+
+  explicit DirectedPairRoster(u64 initial_capacity = 16);
+
+  u64 size() const { return size_; }
+  u64 capacity() const { return capacity_; }
+
+  /// Appends a live entry with the given orientation flags; returns its
+  /// index (== previous size()).
+  u64 add(bool fwd_productive, bool rev_productive);
+
+  /// Removes entry e.  Returns the index of the entry that was moved into
+  /// the hole (the previous back), or kNoEntry when e was the back.
+  u64 remove(u64 e);
+
+  void set_flag(u64 e, u64 orientation, bool productive) {
+    PP_DCHECK(e < size_ && orientation < 2);
+    pairs_.set_productive(2 * e + orientation, productive);
+  }
+
+  u64 weight_total() const { return pairs_.weight_total(); }
+  u64 productive_total() const { return pairs_.productive_total(); }
+
+  /// Productive fraction of the live directed slots (0 when empty).
+  double productive_probability() const {
+    return pairs_.productive_probability();
+  }
+
+  /// Samples a productive (entry, orientation); precondition
+  /// productive_total() > 0.
+  std::pair<u64, u64> sample_productive(Rng& rng) const {
+    const u64 d = pairs_.sample_productive(rng);
+    return {d >> 1, d & 1};
+  }
+
+ private:
+  void grow(u64 new_capacity);
+
+  PairSampler pairs_;  // 2 * capacity_ slots; live slots < 2 * size_
+  u64 size_ = 0;
+  u64 capacity_ = 0;
 };
 
 }  // namespace pp

@@ -178,6 +178,20 @@ std::vector<SchedulerSpec> all_scheduler_specs() {
   s.graph = GraphKind::kComplete;  // starts dense, decays to stationarity
   s.dynamics = GraphDynamics::kEdgeMarkovian;
   specs.push_back(s);
+  // The dense Θ(n²) reference paths of the two hierarchically-sampled
+  // models: conformance must keep pinning the transparent implementations
+  // the cross-validation tests compare the scalable paths against.
+  s = SchedulerSpec{};
+  s.kind = SchedulerKind::kWeighted;
+  s.kernel = WeightKernel::kRingDecay;
+  s.dense_reference = true;
+  specs.push_back(s);
+  s = SchedulerSpec{};
+  s.kind = SchedulerKind::kDynamicGraph;
+  s.graph = GraphKind::kCycle;
+  s.dynamics = GraphDynamics::kEdgeMarkovian;
+  s.dense_reference = true;
+  specs.push_back(s);
   return specs;
 }
 
@@ -201,6 +215,7 @@ std::string SchedulerSpec::to_string() const {
     case SchedulerKind::kWeighted: {
       std::string out = std::string("weighted[") + weight_kernel_name(kernel);
       if (kernel_power != 1) out += "^" + std::to_string(kernel_power);
+      if (dense_reference) out += "/dense-ref";
       out += "]";
       return out;
     }
@@ -222,6 +237,9 @@ std::string SchedulerSpec::to_string() const {
         }
       } else if (rewire_period != 0) {
         out += "/T" + std::to_string(rewire_period);
+      }
+      if (dynamics == GraphDynamics::kEdgeMarkovian && dense_reference) {
+        out += "/dense-ref";
       }
       out += "]";
       return out;
@@ -273,11 +291,13 @@ SchedulerPtr make_scheduler(const SchedulerSpec& spec, u64 n) {
           std::move(graph), spec.graph_accelerated);
     }
     case SchedulerKind::kWeighted:
-      // Pinning n here both precomputes the kernel table (shared by every
-      // trial of a runner sweep) and rejects oversized populations at
+      // Pinning n here both precomputes the kernel tables (shared by every
+      // trial of a runner sweep) and rejects infeasible populations at
       // construction, where the caller is.
-      return std::make_unique<WeightedScheduler>(spec.kernel,
-                                                 spec.kernel_power, n);
+      return std::make_unique<WeightedScheduler>(
+          spec.kernel, spec.kernel_power, n,
+          spec.dense_reference ? WeightedScheduler::Path::kDense
+                               : WeightedScheduler::Path::kAuto);
     case SchedulerKind::kDynamicGraph:
       return std::make_unique<DynamicGraphScheduler>(spec, n);
     case SchedulerKind::kAdversarial:

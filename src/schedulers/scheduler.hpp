@@ -200,6 +200,14 @@ struct SchedulerSpec {
   WeightKernel kernel = WeightKernel::kUniform;
   u64 kernel_power = 1;
 
+  /// kWeighted and kDynamicGraph (edge-Markovian only): route pair
+  /// selection through the dense Θ(n²) reference implementation instead
+  /// of the default sparse/hierarchical sampler.  The dense paths cap n
+  /// at 4096; they exist so the cross-validation tests (and any
+  /// sceptical caller) can pin the scalable paths against the
+  /// transparent ones.  Encoded as "/dense-ref" in the display name.
+  bool dense_reference = false;
+
   /// kDynamicGraph only: evolution policy and its knobs.  Edge-Markovian:
   /// per-step absent->present probability `edge_birth` (0 = auto-derived
   /// from edge_death to hold a stationary edge count of ~n, the sparsity

@@ -1,16 +1,16 @@
 #include "schedulers/weighted.hpp"
 
 #include <algorithm>
+#include <optional>
 
 #include "common/assert.hpp"
-#include "schedulers/pair_sampler.hpp"
 
 namespace pp {
 namespace {
 
-// The mutable per-run state: agent states per position plus the sampler
-// over the dense universe of ordered pairs (id = i * n + j; the n diagonal
-// slots keep weight 0 forever).
+// The dense reference path's mutable per-run state: agent states per
+// position plus the sampler over the dense universe of ordered pairs
+// (id = i * n + j; the n diagonal slots keep weight 0 forever).
 struct DenseState {
   const Protocol& p;
   u64 n;
@@ -48,20 +48,36 @@ struct DenseState {
 
 }  // namespace
 
-WeightedScheduler::WeightedScheduler(WeightKernel kernel, u64 power, u64 n)
-    : kernel_(kernel), power_(power), n_(n) {
+WeightedScheduler::WeightedScheduler(WeightKernel kernel, u64 power, u64 n,
+                                     Path path)
+    : kernel_(kernel), power_(power), n_(n), path_(path) {
   PP_ASSERT_MSG(power >= 1 && power <= 3,
                 "weighted scheduler needs kernel power in {1, 2, 3}");
   if (n_ != 0) {
     PP_ASSERT_MSG(n_ >= 2, "weighted scheduler needs n >= 2");
-    PP_ASSERT_MSG(n_ <= kMaxPopulation,
-                  "weighted scheduler caps n at 4096 (dense pair universe)");
-    weights_ = kernel_table(n_);
+    // Pin the closed-form kernel for every trial of a sweep (O(n) memory;
+    // also runs the 63-bit total check up front, where the caller is).
+    // The Θ(n²) dense table is only materialised when the dense path can
+    // actually be taken.
+    pinned_kernel_ =
+        std::make_unique<const DistanceKernel>(distance_kernel(n_));
+    // Only an explicitly dense scheduler pre-materialises the Θ(n²) table
+    // (and can reject an oversized population here, where the caller is);
+    // an auto scheduler that ends up on the dense path for an extra-state
+    // protocol builds it per run, and run_dense re-checks the cap.
+    if (path_ == Path::kDense) {
+      PP_ASSERT_MSG(n_ <= kDenseMaxPopulation,
+                    "the dense reference path caps n at 4096 (dense pair "
+                    "universe); use the hierarchical path for larger "
+                    "populations");
+      dense_weights_ = kernel_table(n_);
+    }
   }
   SchedulerSpec spec;
   spec.kind = SchedulerKind::kWeighted;
   spec.kernel = kernel;
   spec.kernel_power = power;
+  spec.dense_reference = path == Path::kDense;
   name_ = spec.to_string();
 }
 
@@ -96,20 +112,47 @@ u64 WeightedScheduler::pair_weight(u64 n, u64 i, u64 j) const {
   return w;
 }
 
+DistanceKernel WeightedScheduler::distance_kernel(u64 n) const {
+  const auto geometry = kernel_ == WeightKernel::kRingDecay
+                            ? DistanceKernel::Geometry::kRing
+                            : DistanceKernel::Geometry::kLine;
+  const u64 distances =
+      geometry == DistanceKernel::Geometry::kRing ? n / 2 : n - 1;
+  std::vector<u64> decay(distances);
+  for (u64 d = 1; d <= distances; ++d) {
+    u64 base = kernel_ == WeightKernel::kUniform ? 1 : n / d;
+    u64 w = 1;
+    for (u64 k = 0; k < power_; ++k) w *= base;
+    decay[d - 1] = w;
+  }
+  return DistanceKernel(geometry, n, std::move(decay));
+}
+
 RunResult WeightedScheduler::run(Protocol& p, Rng& rng,
                                  const RunOptions& opt) const {
   const u64 n = p.num_agents();
   PP_ASSERT_MSG(n >= 2, "weighted scheduler needs n >= 2");
-  PP_ASSERT_MSG(n <= kMaxPopulation,
-                "weighted scheduler caps n at 4096 (dense pair universe)");
   PP_ASSERT_MSG(n_ == 0 || n_ == n,
                 "weighted scheduler built for a different population size");
+  const bool dense = path_ == Path::kDense ||
+                     (path_ == Path::kAuto && p.num_extra_states() != 0);
+  return dense ? run_dense(p, rng, opt) : run_hierarchical(p, rng, opt);
+}
+
+RunResult WeightedScheduler::run_dense(Protocol& p, Rng& rng,
+                                       const RunOptions& opt) const {
+  const u64 n = p.num_agents();
+  PP_ASSERT_MSG(n <= kDenseMaxPopulation,
+                "the dense reference path caps n at 4096 (dense pair "
+                "universe); extra-state protocols need it — see "
+                "schedulers/weighted.hpp");
   std::vector<StateId> placement = p.configuration().to_agent_states();
   rng.shuffle(placement);
   // The placement-independent kernel table is shared by every trial when
   // the population size was pinned at construction (one copy per run, as
   // the sampler consumes it); the unpinned path builds and moves its own.
-  std::vector<u64> table = n_ != 0 ? weights_ : kernel_table(n);
+  std::vector<u64> table =
+      !dense_weights_.empty() ? dense_weights_ : kernel_table(n);
   DenseState ds(std::move(table), p, std::move(placement));
 
   RunResult r;
@@ -130,6 +173,40 @@ RunResult WeightedScheduler::run(Protocol& p, Rng& rng,
     ds.state[j] = sj;
     ds.refresh_position(i);
     ds.refresh_position(j);
+    ++r.productive_steps;
+    if (opt.on_change && !opt.on_change(p, r.interactions)) {
+      r.aborted = true;
+      break;
+    }
+  }
+  return detail::finish_run(
+      p, r, static_cast<double>(r.interactions) / static_cast<double>(n));
+}
+
+RunResult WeightedScheduler::run_hierarchical(Protocol& p, Rng& rng,
+                                              const RunOptions& opt) const {
+  const u64 n = p.num_agents();
+  std::vector<StateId> placement = p.configuration().to_agent_states();
+  rng.shuffle(placement);
+  // Pinned constructions share one closed-form kernel across every trial
+  // (it is immutable, so concurrent runner threads read it freely); the
+  // unpinned path builds its own O(n) copy.
+  std::optional<DistanceKernel> local;
+  const DistanceKernel* kernel = pinned_kernel_.get();
+  if (kernel == nullptr) {
+    local.emplace(distance_kernel(n));
+    kernel = &*local;
+  }
+  GroupedKernelSampler gs(*kernel, p, std::move(placement));
+
+  RunResult r;
+  while (gs.productive_total() != 0) {
+    if (!advance_past_nulls(rng, gs.productive_probability(),
+                            opt.max_interactions, r.interactions)) {
+      break;
+    }
+    const auto [i, j] = gs.sample_productive(rng);
+    gs.fire(p, i, j);
     ++r.productive_steps;
     if (opt.on_change && !opt.on_change(p, r.interactions)) {
       r.aborted = true;

@@ -21,13 +21,20 @@
 //                structures/line_layout): d(i, j) = |i-j|, same harmonic
 //                kernel — adds the boundary asymmetry a ring lacks.
 //
-// Pair selection runs on the Fenwick-backed sampler layer
-// (schedulers/pair_sampler.hpp) over the dense universe of n(n-1) ordered
-// pairs: productive weight is maintained incrementally (a productive step
-// at (i, j) re-tests only the 4(n-1) directed pairs involving i or j) and
-// null steps are skipped geometrically with success probability
-// W_productive / W_total — the accelerated uniform engine's construction at
-// kernel generality.
+// Pair selection runs on the hierarchical sampler layer
+// (schedulers/pair_sampler.hpp) by default: the translation-invariant
+// kernel is held in closed form (DistanceKernel, O(n) memory) and the
+// productive mass lives in a two-level structure over states and their
+// occupant groups (GroupedKernelSampler) — O(log n + group²) per sample,
+// O(group + log n) per state change, exact totals, so the accelerated
+// uniform engine's geometric null-skipping carries over at any n whose
+// kernel total fits the sampler's 63-bit range (n ~ 10^6 for the harmonic
+// kernels at power 1).  Protocols with extra states (whose productive
+// pairs are not all same-state) and callers that ask for it explicitly
+// (SchedulerSpec::dense_reference) instead take the dense Θ(n²) reference
+// path over all n(n-1) ordered pairs — the transparent implementation the
+// cross-validation tests pin the hierarchical path against; it keeps a
+// population guard at n <= kDenseMaxPopulation.
 //
 // Because every kernel here assigns positive weight to every pair, a
 // weighted run can never get locally stuck: it ends at true silence,
@@ -36,28 +43,36 @@
 
 #include <string>
 
+#include "schedulers/pair_sampler.hpp"
 #include "schedulers/scheduler.hpp"
 
 namespace pp {
 
 class WeightedScheduler final : public Scheduler {
  public:
-  /// Population cap: the sampler allocates Θ(n^2) Fenwick slots over the
-  /// dense ordered-pair universe, and with w <= n^3 per pair the total
-  /// weight stays far below u64 range at this size.  Mind the memory at
-  /// the cap: each *run* owns its sampler (~0.5 GB at n = 4096), and the
-  /// parallel runner drives one run per thread — size RunnerOptions::
-  /// threads accordingly, or stay at the n <= 512 the benches use.
-  static constexpr u64 kMaxPopulation = 4096;
+  /// Which pair-selection machinery run() uses.
+  enum class Path {
+    kAuto,          ///< hierarchical when the protocol has no extra states,
+                    ///< dense otherwise
+    kHierarchical,  ///< force the sparse two-level sampler
+    kDense,         ///< force the dense Θ(n²) reference universe
+  };
+
+  /// Population guard for the *dense reference path* only: it allocates
+  /// Θ(n²) Fenwick slots over the ordered-pair universe (~0.5 GB at
+  /// n = 4096, one sampler per run and one run per runner thread).  The
+  /// hierarchical path has no such cap — its bound is the 63-bit kernel
+  /// total, checked at DistanceKernel construction.
+  static constexpr u64 kDenseMaxPopulation = 4096;
 
   /// `power` sharpens the decay (w = floor(n/d)^power); must be in
-  /// {1, 2, 3} — enough to span gentle-to-steep spatial locality without
-  /// risking u64 overflow of the total weight.  A non-zero `n` pins the
-  /// population size and precomputes the Θ(n^2) kernel table once at
-  /// construction — the parallel runner builds one scheduler per trial
-  /// set, so a sweep's trials share the table instead of each recomputing
-  /// it; n = 0 defers to run() (any population, table built per run).
-  explicit WeightedScheduler(WeightKernel kernel, u64 power = 1, u64 n = 0);
+  /// {1, 2, 3} — enough to span gentle-to-steep spatial locality.  A
+  /// non-zero `n` pins the population size and precomputes the kernel
+  /// tables once at construction — the parallel runner builds one
+  /// scheduler per trial set, so a sweep's trials share them; n = 0
+  /// defers to run() (any population, tables built per run).
+  explicit WeightedScheduler(WeightKernel kernel, u64 power = 1, u64 n = 0,
+                             Path path = Path::kAuto);
 
   std::string_view name() const override { return name_; }
   RunResult run(Protocol& p, Rng& rng,
@@ -65,20 +80,31 @@ class WeightedScheduler final : public Scheduler {
 
   WeightKernel kernel() const { return kernel_; }
   u64 power() const { return power_; }
+  Path path() const { return path_; }
 
   /// The kernel weight of ordered pair (i, j) in a population of n;
   /// exposed for tests.  Requires i != j.
   u64 pair_weight(u64 n, u64 i, u64 j) const;
 
   /// The full dense table: kernel weight at id i * n + j, 0 on the
-  /// diagonal.
+  /// diagonal.  Θ(n²) — the dense reference path's universe.
   std::vector<u64> kernel_table(u64 n) const;
 
+  /// The closed-form view of the same kernel (the hierarchical path's top
+  /// level); exposed for tests and for the memory-shape assertions.
+  DistanceKernel distance_kernel(u64 n) const;
+
  private:
+  RunResult run_dense(Protocol& p, Rng& rng, const RunOptions& opt) const;
+  RunResult run_hierarchical(Protocol& p, Rng& rng,
+                             const RunOptions& opt) const;
+
   WeightKernel kernel_;
   u64 power_;
-  u64 n_;                      // 0 = resolved per run
-  std::vector<u64> weights_;   // precomputed kernel_table(n_) when n_ != 0
+  u64 n_;  // 0 = resolved per run
+  Path path_;
+  std::vector<u64> dense_weights_;  // kernel_table(n_) when pinned + dense
+  std::unique_ptr<const DistanceKernel> pinned_kernel_;  // when pinned
   std::string name_;
 };
 

@@ -136,5 +136,104 @@ TEST(DirectedEdgeSampler, SparseGraphIntersectsProductiveWeight) {
   }
 }
 
+// ---- DistanceKernel edge geometry -----------------------------------------
+
+TEST(DistanceKernel, TinyPopulationsAndSeams) {
+  // n = 2 ring: one distance, one partner each way.
+  DistanceKernel two(DistanceKernel::Geometry::kRing, 2, {5});
+  EXPECT_EQ(two.weight(0, 1), 5u);
+  EXPECT_EQ(two.row_total(0), 5u);
+  EXPECT_EQ(two.total(), 10u);
+
+  // Even ring: the antipodal partner is counted exactly once per row.
+  DistanceKernel ring(DistanceKernel::Geometry::kRing, 6, {9, 3, 1});
+  EXPECT_EQ(ring.weight(0, 3), 1u);   // antipodal, d = 3
+  EXPECT_EQ(ring.weight(0, 5), 9u);   // d = 1 across the seam
+  EXPECT_EQ(ring.row_total(0), 9 + 9 + 3 + 3 + 1u);
+  EXPECT_EQ(ring.total(), 6 * 25u);
+
+  // Line: boundary rows see one arm only.
+  DistanceKernel line(DistanceKernel::Geometry::kLine, 4, {7, 2, 1});
+  EXPECT_EQ(line.row_total(0), 7 + 2 + 1u);
+  EXPECT_EQ(line.row_total(1), 7 + 7 + 2u);
+  EXPECT_EQ(line.total(), 10 + 16 + 16 + 10u);
+}
+
+TEST(DistanceKernel, PartnerSamplingStaysInRangeAndProportional) {
+  DistanceKernel ring(DistanceKernel::Geometry::kRing, 5, {4, 1});
+  Rng rng(99);
+  std::vector<u64> hits(5, 0);
+  const u64 kSamples = 20000;
+  for (u64 t = 0; t < kSamples; ++t) {
+    const u64 j = ring.sample_partner(rng, 2);
+    ASSERT_NE(j, 2u);
+    ASSERT_LT(j, 5u);
+    ++hits[j];
+  }
+  // Row 2's partners: d=1 -> {1, 3} at weight 4, d=2 -> {0, 4} at 1.
+  const double unit = static_cast<double>(kSamples) / 10.0;
+  EXPECT_NEAR(static_cast<double>(hits[1]), 4 * unit, 5 * std::sqrt(4 * unit));
+  EXPECT_NEAR(static_cast<double>(hits[3]), 4 * unit, 5 * std::sqrt(4 * unit));
+  EXPECT_NEAR(static_cast<double>(hits[0]), unit, 5 * std::sqrt(unit));
+  EXPECT_NEAR(static_cast<double>(hits[4]), unit, 5 * std::sqrt(unit));
+}
+
+TEST(DistanceKernelDeathTest, RejectsMalformedProfiles) {
+  EXPECT_DEATH(DistanceKernel(DistanceKernel::Geometry::kRing, 8, {1, 2}),
+               "profile length");
+  EXPECT_DEATH(DistanceKernel(DistanceKernel::Geometry::kLine, 4, {1, 0, 1}),
+               "positive");
+  // 63-bit overflow: four weights near u64 max.
+  EXPECT_DEATH(DistanceKernel(DistanceKernel::Geometry::kLine, 5,
+                              std::vector<u64>(4, ~u64{0} / 2)),
+               "63-bit");
+}
+
+// ---- DirectedPairRoster ---------------------------------------------------
+
+TEST(DirectedPairRoster, AddRemoveCompactionAndGrowth) {
+  DirectedPairRoster roster(/*initial_capacity=*/4);
+  EXPECT_EQ(roster.size(), 0u);
+  EXPECT_EQ(roster.weight_total(), 0u);
+
+  // Fill past the initial capacity to force a growth rebuild.
+  for (u64 e = 0; e < 10; ++e) {
+    EXPECT_EQ(roster.add(/*fwd=*/e % 2 == 0, /*rev=*/false), e);
+  }
+  EXPECT_EQ(roster.size(), 10u);
+  EXPECT_GE(roster.capacity(), 10u);
+  EXPECT_EQ(roster.weight_total(), 20u);   // two unit slots per entry
+  EXPECT_EQ(roster.productive_total(), 5u);  // even entries, forward only
+
+  // Remove a middle entry: the back entry's flags must travel into the
+  // hole, and the totals must drop by exactly one entry's contribution.
+  // Entry 9 (odd: unproductive) swap-fills slot 2 (even: productive).
+  EXPECT_EQ(roster.remove(2), 9u);
+  EXPECT_EQ(roster.size(), 9u);
+  EXPECT_EQ(roster.weight_total(), 18u);
+  EXPECT_EQ(roster.productive_total(), 4u);
+
+  // Removing the back entry moves nothing (entry 8 was productive, so the
+  // productive total drops with it).
+  EXPECT_EQ(roster.remove(8), DirectedPairRoster::kNoEntry);
+  EXPECT_EQ(roster.size(), 8u);
+  EXPECT_EQ(roster.productive_total(), 3u);
+
+  // Flags are per live entry and orientation.
+  roster.set_flag(1, 1, true);
+  EXPECT_EQ(roster.productive_total(), 4u);
+  roster.set_flag(1, 1, false);
+  EXPECT_EQ(roster.productive_total(), 3u);
+
+  // Productive sampling only returns live, flagged slots.
+  Rng rng(3);
+  for (int t = 0; t < 200; ++t) {
+    const auto [e, orient] = roster.sample_productive(rng);
+    EXPECT_LT(e, roster.size());
+    EXPECT_EQ(orient, 0u);      // only forward orientations are flagged
+    EXPECT_EQ(e % 2, 0u);       // surviving productive entries are even
+  }
+}
+
 }  // namespace
 }  // namespace pp

@@ -312,10 +312,37 @@ TEST(SchedulerValidationDeathTest, WeightedRejectsBadKernelPower) {
                "kernel power");
 }
 
-TEST(SchedulerValidationDeathTest, WeightedRejectsOversizedPopulation) {
+TEST(SchedulerValidationDeathTest, WeightedDensePathRejectsOversized) {
+  // The blanket n <= 4096 cap is gone: only the dense Θ(n²) *reference*
+  // path keeps a population guard.  The hierarchical default constructs at
+  // the same size without complaint (its bound is the 63-bit kernel
+  // total).
   SchedulerSpec spec;
   spec.kind = SchedulerKind::kWeighted;
+  spec.dense_reference = true;
   EXPECT_DEATH(make_scheduler(spec, 4097), "dense pair universe");
+  spec.dense_reference = false;
+  EXPECT_NE(make_scheduler(spec, 4097), nullptr);
+}
+
+TEST(SchedulerValidationDeathTest, WeightedRejectsOverflowingKernelTotal) {
+  // The hierarchical path's principled cap: the grand kernel total must
+  // fit the sampler's 63-bit update range.  ring-decay at power 3 sums to
+  // ~2.4 n^4, which overflows near n = 44000.
+  EXPECT_DEATH(WeightedScheduler(WeightKernel::kRingDecay, /*power=*/3,
+                                 /*n=*/200000),
+               "63-bit");
+}
+
+TEST(SchedulerValidationDeathTest, DenseMarkovReferenceRejectsOversized) {
+  SchedulerSpec spec;
+  spec.kind = SchedulerKind::kDynamicGraph;
+  spec.graph = GraphKind::kCycle;
+  spec.dynamics = GraphDynamics::kEdgeMarkovian;
+  spec.dense_reference = true;
+  EXPECT_DEATH(DynamicGraphScheduler(spec, 4097), "dense pair universe");
+  spec.dense_reference = false;
+  EXPECT_NE(make_scheduler(spec, 4097), nullptr);
 }
 
 TEST(SchedulerValidationDeathTest, DynamicRejectsBadRates) {
