@@ -68,7 +68,7 @@ int run(const Context& ctx) {
       const TrialSet set =
           run_trials(spec, runner_options(ctx, point_trials), *ctx.pool);
       warn_if_invalid(set, spec.label);
-      emit_bench_json(ctx, spec.label, n, 0, set);
+      emit_bench_json(ctx, spec, n, 0, set);
       row.cell(set.stats.timeouts == 0
                    ? std::to_string(static_cast<u64>(
                          set.stats.productive_steps.max()))

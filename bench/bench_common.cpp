@@ -120,17 +120,21 @@ void run_scale_section(
   for (const u64 n : sizes) {
     for (const SchedulerSpec& sched : menu(n)) {
       const std::string sched_name = sched.to_string();
-      TrialSpec spec = make_spec(
-          label_prefix + sched_name, n,
-          [n] { return make_protocol("ag", n); }, gen_uniform_random(),
-          /*max_interactions=*/5 * n);
-      spec.protocol = "ag";  // descriptive only
+      // Registry protocol + named init rather than an opaque factory
+      // lambda: resolve_factory() builds the identical protocol, and the
+      // point's provenance-manifest record stays replayable.
+      TrialSpec spec;
+      spec.label = label_prefix + sched_name;
+      spec.protocol = "ag";
+      spec.n = n;
+      spec.init = gen_uniform_random();
+      spec.max_interactions = 5 * n;
       spec.engine = EngineKind::kScheduled;
       spec.scheduler = sched;
       const TrialSet set =
           run_trials(spec, runner_options(ctx, trials), *ctx.pool);
       warn_if_invalid(set, spec.label);
-      emit_bench_json(ctx, spec.label, n, 0, set);
+      emit_bench_json(ctx, spec, n, 0, set);
       t.row()
           .cell(sched_name)
           .cell(n)
@@ -146,6 +150,11 @@ void run_scale_section(
 void emit_bench_json(const Context& ctx, const std::string& point, u64 n,
                      double param, const TrialSet& set) {
   ctx.bench_log.append_point(point, n, param, set);
+}
+
+void emit_bench_json(const Context& ctx, const TrialSpec& spec, u64 n,
+                     double param, const TrialSet& set) {
+  ctx.bench_log.append_point(spec.label, n, param, set, &spec);
 }
 
 void warn_if_invalid(const TrialSet& set, const std::string& label) {
@@ -171,7 +180,7 @@ SweepPoint run_point(const Context& ctx, const std::string& label, u64 n,
   p.trials_per_sec = set.trials_per_sec;
   p.threads = set.threads;
   warn_if_invalid(set, label);
-  emit_bench_json(ctx, label, n, param, set);
+  emit_bench_json(ctx, spec, n, param, set);
   return p;
 }
 

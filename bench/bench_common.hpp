@@ -124,6 +124,14 @@ RunnerOptions runner_options(const Context& ctx, u64 trials);
 void emit_bench_json(const Context& ctx, const std::string& point, u64 n,
                      double param, const TrialSet& set);
 
+/// Spec-aware overload: the record additionally carries the merged obs
+/// counters and the point is mirrored into the BENCH file's provenance
+/// sidecar (obs/provenance.hpp) — replayable whenever the spec uses a
+/// registry protocol and a default/uniform-random init.  Prefer this one;
+/// the label is taken from spec.label.
+void emit_bench_json(const Context& ctx, const TrialSpec& spec, u64 n,
+                     double param, const TrialSet& set);
+
 /// Prints the "invalid outcomes" warning run_point would print — benches
 /// that use run_trials() directly must not drop that signal.
 void warn_if_invalid(const TrialSet& set, const std::string& label);

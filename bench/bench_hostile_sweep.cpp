@@ -60,17 +60,21 @@ int run(const Context& ctx) {
     const auto run_spec = [&](const SchedulerSpec& sched, double param,
                               Table& t) {
       const std::string sched_name = sched.to_string();
-      TrialSpec spec = make_spec(
-          std::string("s2-") + proto + "-" + sched_name, n,
-          [name, n] { return make_protocol(name, n); },
-          gen_uniform_random(), budget);
-      spec.protocol = name;  // descriptive only
+      // Registry protocol + named init rather than an opaque factory
+      // lambda: resolve_factory() builds the identical protocol, and
+      // the point's provenance-manifest record stays replayable.
+      TrialSpec spec;
+      spec.label = std::string("s2-") + proto + "-" + sched_name;
+      spec.protocol = name;
+      spec.n = n;
+      spec.init = gen_uniform_random();
+      spec.max_interactions = budget;
       spec.engine = EngineKind::kScheduled;
       spec.scheduler = sched;
       const TrialSet set =
           run_trials(spec, runner_options(ctx, trials), *ctx.pool);
       warn_if_invalid(set, spec.label);
-      emit_bench_json(ctx, spec.label, n, param, set);
+      emit_bench_json(ctx, spec, n, param, set);
       const Summary sum = set.summary();
       t.row()
           .cell(sched_name)

@@ -95,18 +95,21 @@ int run(const Context& ctx) {
         // (O(n^2) parallel time for AG): runs that a model genuinely
         // strands show up in "unstab.", they don't hang the bench.
         const u64 budget = 20 * n * n * n;
-        const std::string name = proto;
-        TrialSpec spec = make_spec(
-            std::string("s1-") + proto + "-" + sched_name, n,
-            [name, n] { return make_protocol(name, n); },
-            gen_uniform_random(), budget);
-        spec.protocol = name;  // descriptive only
+        // Registry protocol + named init rather than an opaque factory
+        // lambda: resolve_factory() builds the identical protocol, and
+        // the point's provenance-manifest record stays replayable.
+        TrialSpec spec;
+        spec.label = std::string("s1-") + proto + "-" + sched_name;
+        spec.protocol = proto;
+        spec.n = n;
+        spec.init = gen_uniform_random();
+        spec.max_interactions = budget;
         spec.engine = EngineKind::kScheduled;
         spec.scheduler = sched;
         const TrialSet set =
             run_trials(spec, runner_options(ctx, trials), *ctx.pool);
         warn_if_invalid(set, spec.label);
-        emit_bench_json(ctx, spec.label, n, 0, set);
+        emit_bench_json(ctx, spec, n, 0, set);
         const Summary sum = set.summary();
         t.row()
             .cell(sched_name)

@@ -58,7 +58,7 @@ int run(const Context& ctx) {
     const TrialSet set =
         run_trials(spec, runner_options(ctx, trials), *ctx.pool);
     warn_if_invalid(set, spec.label);
-    emit_bench_json(ctx, spec.label, n, 0, set);
+    emit_bench_json(ctx, spec, n, 0, set);
     if (sink) {
       sink->write_trials(spec, set);
     }

@@ -150,6 +150,9 @@ def main():
     args = ap.parse_args()
 
     current = sorted(glob.glob(os.path.join(args.bench_dir, "BENCH_*.json")))
+    # The provenance sidecars (obs/provenance.hpp) share the BENCH_ prefix
+    # but are not perf records — and must never become baselines.
+    current = [p for p in current if not p.endswith(".manifest.json")]
     if not current:
         sys.exit(f"no BENCH_*.json in {args.bench_dir} — run the benches "
                  "first")

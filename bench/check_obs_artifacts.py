@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""Validator for the observability artifacts a POPRANK_OBS=ON run emits.
+
+Three independent checks, any of which failing exits 1:
+
+  1. Chrome trace JSON (--trace): the file json.loads, has the
+     {"traceEvents": [...]} shape Perfetto/chrome://tracing expect, every
+     event carries name/ph/tid/ts, every complete ('X') event carries a
+     non-negative dur, and the per-thread span set is sane (an 'X' event
+     never out-lives the trace).
+  2. Provenance manifests (--bench-dir): every BENCH_*.json has a
+     <file>.manifest.json sidecar whose header names the same run_id, and
+     every point line parses with the documented fields.
+  3. Spec-hash recomputation: the manifest's spec_hash is re-derived here,
+     in Python, from the serialised spec string with an independent
+     FNV-1a 64 implementation — a C++-side serialisation or hashing change
+     that silently breaks replay-from-manifest trips this check.
+
+Stdlib-only on purpose, like the figure and regression scripts: this runs
+on any CI runner straight after the traced smoke step.
+
+Usage:
+  check_obs_artifacts.py --bench-dir build [--trace build/trace.json]
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+FNV_OFFSET = 0xCBF29CE484222325
+FNV_PRIME = 0x100000001B3
+MASK64 = (1 << 64) - 1
+
+
+def fnv1a64(data: bytes) -> int:
+    """Mirrors pp::obs::fnv1a64 (src/obs/provenance.cpp) byte for byte."""
+    h = FNV_OFFSET
+    for b in data:
+        h = ((h ^ b) * FNV_PRIME) & MASK64
+    return h
+
+
+def fail(msg):
+    sys.exit(f"check_obs_artifacts: FAIL: {msg}")
+
+
+def check_trace(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail(f"{path}: no traceEvents array")
+    if not events:
+        fail(f"{path}: traceEvents is empty — the flagged trial never ran")
+    max_end = 0
+    for ev in events:
+        for key in ("name", "ph", "tid", "ts"):
+            if key not in ev:
+                fail(f"{path}: event missing {key!r}: {ev}")
+        if ev["ph"] not in ("X", "i"):
+            fail(f"{path}: unexpected phase {ev['ph']!r}")
+        if ev["ph"] == "X":
+            if ev.get("dur", -1) < 0:
+                fail(f"{path}: complete event without dur: {ev}")
+            max_end = max(max_end, ev["ts"] + ev["dur"])
+        else:
+            if ev.get("s") != "t":
+                fail(f"{path}: instant event without thread scope: {ev}")
+    # Every span must end within the trace: an 'X' event reaching past the
+    # last recorded timestamp means a ScopedSpan closed after the session
+    # was torn down (or never closed at all).
+    last_ts = max(ev["ts"] + ev.get("dur", 0) for ev in events)
+    if max_end > last_ts:
+        fail(f"{path}: span ends at {max_end} past trace end {last_ts}")
+    dropped = doc.get("otherData", {}).get("dropped_events", 0)
+    phases = sorted({ev["name"] for ev in events if ev["ph"] == "X"})
+    print(
+        f"  trace    {path}: {len(events)} events, spans {phases}, "
+        f"{dropped} dropped"
+    )
+
+
+MANIFEST_POINT_FIELDS = (
+    "label", "n", "param", "master_seed", "trials", "threads",
+    "scheduler", "spec", "spec_hash", "replayable",
+)
+
+
+def check_manifest(bench_path, manifest_path):
+    with open(bench_path, "r", encoding="utf-8") as f:
+        bench_header = json.loads(f.readline())
+    run_id = bench_header.get("run_id")
+    with open(manifest_path, "r", encoding="utf-8") as f:
+        lines = [ln for ln in f if ln.strip()]
+    if not lines:
+        fail(f"{manifest_path}: empty")
+    header = json.loads(lines[0])
+    if header.get("kind") != "manifest":
+        fail(f"{manifest_path}: first line is not a manifest header")
+    for key in ("artifact", "run_id", "git_sha", "build_type", "obs"):
+        if key not in header:
+            fail(f"{manifest_path}: header missing {key!r}")
+    if header["run_id"] != run_id:
+        fail(
+            f"{manifest_path}: run_id {header['run_id']} != "
+            f"{run_id} in {bench_path} — stale sidecar"
+        )
+    points = 0
+    replayable = 0
+    for ln in lines[1:]:
+        rec = json.loads(ln)
+        if rec.get("kind") != "point":
+            fail(f"{manifest_path}: non-point record after header: {rec}")
+        for key in MANIFEST_POINT_FIELDS:
+            if key not in rec:
+                fail(f"{manifest_path}: point missing {key!r}: {rec}")
+        want = f"fnv1a64:{fnv1a64(rec['spec'].encode('utf-8')):016x}"
+        if rec["spec_hash"] != want:
+            fail(
+                f"{manifest_path}: spec_hash {rec['spec_hash']} != "
+                f"recomputed {want} for label {rec['label']!r} — the C++ "
+                "spec serialisation or hash changed without a manifest "
+                "version bump"
+            )
+        points += 1
+        replayable += bool(rec["replayable"])
+    print(
+        f"  manifest {manifest_path}: {points} points, "
+        f"{replayable} replayable, spec hashes verified"
+    )
+    if points == 0:
+        fail(f"{manifest_path}: header but no points")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--bench-dir", default=".")
+    ap.add_argument("--trace", default=None)
+    args = ap.parse_args()
+
+    if args.trace:
+        check_trace(args.trace)
+
+    bench_files = sorted(glob.glob(os.path.join(args.bench_dir, "BENCH_*.json")))
+    bench_files = [p for p in bench_files if not p.endswith(".manifest.json")]
+    if not bench_files:
+        fail(f"no BENCH_*.json in {args.bench_dir}")
+    for bench_path in bench_files:
+        manifest_path = bench_path + ".manifest.json"
+        if not os.path.exists(manifest_path):
+            fail(f"{bench_path} has no {manifest_path} sidecar")
+        check_manifest(bench_path, manifest_path)
+    print("check_obs_artifacts: OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -241,7 +241,101 @@ def scale_order(row):
     return (proto, rec["n"], -rec["trials_per_sec"], sched)
 
 
-def render_svg(by_proto, scale_rows, out_path):
+def overhead_rows(points, scale_rows):
+    """Rows for the per-model overhead panel, from records that carry the
+    optional "counters" object (POPRANK_OBS=ON builds only): null-skip
+    efficiency = null_skips / (null_skips + productive_steps), i.e. the
+    fraction of scheduled interactions the engine disposed of analytically
+    instead of simulating, plus the roster rejection rate for the models
+    that keep a live pair roster."""
+    rows = []
+    seen = set()
+    items = [(p, s, rec) for (p, s, _n), rec in points.items()]
+    items += list(scale_rows)
+    for proto, sched, rec in items:
+        counters = rec.get("counters", {}).get("counters")
+        if not counters:
+            continue
+        prod = counters.get("productive_steps", 0)
+        skips = counters.get("null_skips", 0)
+        if prod + skips == 0:
+            continue
+        key = (proto, sched, rec["n"])
+        if key in seen:
+            continue
+        seen.add(key)
+        rej = counters.get("roster_rejections", 0)
+        grows = counters.get("roster_grows", 0)
+        rows.append(
+            {
+                "proto": proto,
+                "sched": sched,
+                "n": rec["n"],
+                "efficiency": skips / (prod + skips),
+                "rejections_per_kprod": 1000.0 * rej / max(prod, 1),
+                "roster_grows": grows,
+            }
+        )
+    rows.sort(key=lambda r: (r["proto"], -r["efficiency"], r["sched"], r["n"]))
+    return rows
+
+
+def svg_overhead_panel(out, rows, x0, y0, width):
+    """Per-model scheduling-overhead panel: null-skip efficiency bars on a
+    fixed 0..1 axis, annotated with roster churn.  Returns the height."""
+    row_h = 26
+    bar_h = 14
+    label_w = 300
+    value_w = 120
+    plot_w = width - label_w - value_w
+    top_pad = 34
+    height = top_pad + row_h * len(rows) + 14
+
+    out.append(
+        f'<text x="{x0}" y="{y0 + 16}" font-family="{FONT}" font-size="15" '
+        f'font-weight="600" fill="{INK}">per-model overhead — null-skip '
+        f"efficiency (POPRANK_OBS counters)</text>"
+    )
+    for frac in (0.25, 0.5, 0.75, 1.0):
+        gx = x0 + label_w + plot_w * frac
+        out.append(
+            f'<line x1="{gx:.1f}" y1="{y0 + top_pad - 6}" x2="{gx:.1f}" '
+            f'y2="{y0 + height - 10}" stroke="{GRID}" stroke-width="1"/>'
+        )
+        out.append(
+            f'<text x="{gx:.1f}" y="{y0 + height + 2}" font-family="{FONT}" '
+            f'font-size="10" fill="{INK_MUTED}" text-anchor="middle">'
+            f"{frac:.2f}</text>"
+        )
+    for i, r in enumerate(rows):
+        cy = y0 + top_pad + i * row_h
+        w = max(plot_w * r["efficiency"], 4.0)
+        label = f"{r['proto']} · {r['sched']} @ n={r['n']:,}"
+        out.append(
+            f'<text x="{x0 + label_w - 10}" y="{cy + bar_h - 2}" '
+            f'font-family="{FONT}" font-size="12" fill="{INK}" '
+            f'text-anchor="end">{esc(label)}</text>'
+        )
+        out.append(
+            f'<path d="M {x0 + label_w} {cy} h {w - 4:.1f} '
+            f"q 4 0 4 4 v {bar_h - 8} q 0 4 -4 4 "
+            f'h {-(w - 4):.1f} z" fill="{BAR}"/>'
+        )
+        note = f"{r['efficiency']:.3f}"
+        if r["rejections_per_kprod"] > 0 or r["roster_grows"] > 0:
+            note += (
+                f"  ({r['rejections_per_kprod']:.1f} roster rej./1k steps, "
+                f"{r['roster_grows']:,} rehashes)"
+            )
+        out.append(
+            f'<text x="{x0 + label_w + w + 8:.1f}" y="{cy + bar_h - 2}" '
+            f'font-family="{FONT}" font-size="11" '
+            f'fill="{INK_MUTED}">{esc(note)}</text>'
+        )
+    return height + 18
+
+
+def render_svg(by_proto, scale_rows, ovh_rows, out_path):
     width = 860
     x0, y_cursor = 20, 20
     body = []
@@ -264,6 +358,10 @@ def render_svg(by_proto, scale_rows, out_path):
         y_cursor += svg_scale_panel(
             body, sorted(scale_rows, key=scale_order), x0, y_cursor,
             width - 2 * x0
+        )
+    if ovh_rows:
+        y_cursor += svg_overhead_panel(
+            body, ovh_rows, x0, y_cursor, width - 2 * x0
         )
     height = y_cursor + 10
     with open(out_path, "w", encoding="utf-8") as f:
@@ -296,7 +394,8 @@ def main():
     out_path = args.out or os.path.join(
         args.bench_dir, "scheduler_comparison.svg"
     )
-    render_svg(by_proto, scale_rows, out_path)
+    ovh_rows = overhead_rows(points, scale_rows)
+    render_svg(by_proto, scale_rows, ovh_rows, out_path)
 
     for proto in sorted(by_proto):
         rows = sorted(by_proto[proto], key=row_order)
@@ -313,6 +412,13 @@ def main():
             print(
                 f"  {proto} · {sched:36s} n={rec['n']:>7,} "
                 f"{rec['trials_per_sec']:10,.2f} trials/s"
+            )
+    if ovh_rows:
+        print("per-model overhead (null-skip efficiency):")
+        for r in ovh_rows:
+            print(
+                f"  {r['proto']} · {r['sched']:36s} n={r['n']:>7,} "
+                f"{r['efficiency']:8.3f}"
             )
     print(f"wrote {out_path}")
 

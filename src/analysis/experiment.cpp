@@ -28,11 +28,12 @@ Measurement measure(const ProtocolFactory& make_protocol,
   return out;
 }
 
-ConfigGenerator gen_uniform_random() {
-  return [](const Protocol& p, Rng& rng) {
-    return initial::uniform_random(p, rng);
-  };
+Configuration UniformRandomGen::operator()(const Protocol& p,
+                                           Rng& rng) const {
+  return initial::uniform_random(p, rng);
 }
+
+ConfigGenerator gen_uniform_random() { return UniformRandomGen{}; }
 
 ConfigGenerator gen_uniform_random_ranks() {
   return [](const Protocol& p, Rng& rng) {

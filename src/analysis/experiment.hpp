@@ -45,6 +45,14 @@ Measurement measure(const ProtocolFactory& make_protocol,
                     const ConfigGenerator& make_config,
                     const MeasureOptions& opt);
 
+/// The generator behind gen_uniform_random(), as a *named* functor: the
+/// provenance layer (obs/provenance.hpp) recognises it through
+/// std::function::target to mark the spec replayable — behaviourally it
+/// is exactly the runner's default when TrialSpec::init is unset.
+struct UniformRandomGen {
+  Configuration operator()(const Protocol& p, Rng& rng) const;
+};
+
 /// Convenience generators matching core/initial.hpp.
 ConfigGenerator gen_uniform_random();
 ConfigGenerator gen_uniform_random_ranks();

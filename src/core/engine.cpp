@@ -1,6 +1,8 @@
 #include "core/engine.hpp"
 
 #include "common/assert.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 
 namespace pp {
 namespace {
@@ -38,6 +40,13 @@ bool advance_past_nulls(Rng& rng, double prob, u64 budget,
     return false;
   }
   interactions += skip + 1;
+  // The one productive-step gate every null-skipping engine passes
+  // through (accelerated uniform, graph-restricted, weighted, dynamic) —
+  // counters and the flagged-trial step trace hook in here once.
+  PP_OBS_ADD(kNullSkips, skip);
+  PP_OBS_SKETCH(kNullSkipGap, skip);
+  PP_OBS_INC(kProductiveSteps);
+  obs::trace_step(interactions);
   return true;
 }
 
@@ -73,6 +82,8 @@ RunResult run_uniform(Protocol& p, Rng& rng, const RunOptions& opt) {
     ++r.interactions;
     if (p.step_uniform(rng)) {
       ++r.productive_steps;
+      PP_OBS_INC(kProductiveSteps);
+      obs::trace_step(r.interactions);
       if (opt.on_change && !opt.on_change(p, r.interactions)) {
         r.aborted = true;
         return finish(p, r);

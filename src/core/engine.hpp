@@ -50,8 +50,9 @@ struct RunOptions {
 struct RunResult {
   u64 interactions = 0;      ///< scheduler steps, null interactions included
   u64 productive_steps = 0;  ///< configuration changes driven by δ
-  u64 fault_events = 0;      ///< environmental faults injected (churn
-                             ///< scheduler only; 0 under every other model)
+  u64 fault_events = 0;      ///< environmental faults injected: churn fault
+                             ///< events and partition split/heal transitions
+                             ///< (0 under the non-hostile models)
   bool silent = false;       ///< reached a silent configuration
   bool valid = false;        ///< final configuration is a valid ranking
   bool aborted = false;      ///< observer requested an early stop

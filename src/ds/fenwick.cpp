@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/counters.hpp"
+
 namespace pp {
 
 void Fenwick::reset(u64 size) {
@@ -39,6 +41,16 @@ void Fenwick::add(u64 i, i64 delta) {
   }
   leaf_[i] = static_cast<u64>(static_cast<i64>(leaf_[i]) + delta);
   total_ = static_cast<u64>(static_cast<i64>(total_) + delta);
+#if PP_OBS
+  // Depth is only *computed* when a counter block is listening; the
+  // un-measured path pays one predictable branch.
+  if (obs::active()) {
+    u64 depth = 0;
+    for (u64 j = i + 1; j <= n_; j += j & (~j + 1)) ++depth;
+    obs::bump(obs::Counter::kFenwickUpdates);
+    obs::record(obs::Sketch::kFenwickDepth, depth);
+  }
+#endif
   for (u64 j = i + 1; j <= n_; j += j & (~j + 1)) {
     tree_[j] = static_cast<u64>(static_cast<i64>(tree_[j]) + delta);
   }

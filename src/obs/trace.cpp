@@ -1,0 +1,250 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "runner/sink.hpp"  // json_escape
+
+namespace pp::obs {
+
+u64 now_us() {
+  // One epoch per process, fixed at first use: Chrome trace timestamps
+  // are relative anyway, and a small origin keeps the JSON readable.
+  static const auto epoch = std::chrono::steady_clock::now();
+  return static_cast<u64>(std::chrono::duration_cast<std::chrono::microseconds>(
+                              std::chrono::steady_clock::now() - epoch)
+                              .count());
+}
+
+#if PP_OBS
+
+namespace {
+
+// ---- per-thread span stacks, registered for watchdog snapshots ----------
+
+struct ThreadSpans {
+  std::mutex mu;
+  std::vector<const char*> stack;  // outermost first
+  u32 tid = 0;
+};
+
+std::mutex& registry_mu() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::vector<ThreadSpans*>& registry() {
+  static std::vector<ThreadSpans*> r;
+  return r;
+}
+
+// Registered on a thread's first span, unregistered at thread exit.  The
+// tid is a small registration-order id — stable within a process, which
+// is all the trace viewer needs.
+struct ThreadSpansOwner {
+  ThreadSpans spans;
+  ThreadSpansOwner() {
+    static u32 next_tid = 0;
+    std::lock_guard<std::mutex> lock(registry_mu());
+    spans.tid = next_tid++;
+    registry().push_back(&spans);
+  }
+  ~ThreadSpansOwner() {
+    std::lock_guard<std::mutex> lock(registry_mu());
+    auto& r = registry();
+    for (u64 i = 0; i < r.size(); ++i) {
+      if (r[i] == &spans) {
+        r.erase(r.begin() + static_cast<i64>(i));
+        break;
+      }
+    }
+  }
+};
+
+ThreadSpans& my_spans() {
+  thread_local ThreadSpansOwner owner;
+  return owner.spans;
+}
+
+// ---- the active session -------------------------------------------------
+
+TraceSession*& session_slot() {
+  static TraceSession* s = nullptr;
+  return s;
+}
+
+thread_local bool tls_step_trace = false;
+
+u64& flagged_trial_slot() {
+  static u64 t = kNoFlaggedTrial;
+  return t;
+}
+
+}  // namespace
+
+void TraceSession::record(TraceEvent e) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (events_.size() >= cap_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(std::move(e));
+}
+
+std::vector<TraceEvent> TraceSession::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+u64 TraceSession::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+std::string TraceSession::to_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : events_) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"" + json_escape(e.name) + "\",\"ph\":\"";
+    out += e.phase;
+    out += "\",\"pid\":1,\"tid\":" + std::to_string(e.tid) +
+           ",\"ts\":" + std::to_string(e.ts_us);
+    if (e.phase == 'X') out += ",\"dur\":" + std::to_string(e.dur_us);
+    if (e.phase == 'i') out += ",\"s\":\"t\"";  // thread-scoped instant
+    out += ",\"args\":{" + e.args + "}}";
+  }
+  out += "],\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped_events\":" +
+         std::to_string(dropped_) + "}}";
+  return out;
+}
+
+bool TraceSession::write_json(const std::string& path) const {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f.good()) {
+    std::fprintf(stderr, "WARNING: cannot write trace to %s\n", path.c_str());
+    return false;
+  }
+  f << to_json() << "\n";
+  return f.good();
+}
+
+TraceSession* active_session() { return session_slot(); }
+
+ScopedTraceSession::ScopedTraceSession(TraceSession* s)
+    : prev_(session_slot()) {
+  session_slot() = s;
+}
+
+ScopedTraceSession::~ScopedTraceSession() { session_slot() = prev_; }
+
+namespace {
+
+// Process-lifetime session for POPRANK_TRACE; written once at exit.
+TraceSession* env_session = nullptr;
+std::string env_trace_path;
+
+void write_env_trace() {
+  if (env_session != nullptr && !env_trace_path.empty()) {
+    env_session->write_json(env_trace_path);
+  }
+}
+
+}  // namespace
+
+void init_from_env() {
+  static bool done = false;
+  static std::mutex mu;
+  std::lock_guard<std::mutex> lock(mu);
+  if (done) return;
+  done = true;
+  if (const char* path = std::getenv("POPRANK_TRACE");
+      path != nullptr && path[0] != '\0') {
+    env_trace_path = path;
+    env_session = new TraceSession();  // process lifetime, freed by exit
+    session_slot() = env_session;
+    std::atexit(write_env_trace);
+  }
+  if (const char* t = std::getenv("POPRANK_TRACE_TRIAL");
+      t != nullptr && t[0] != '\0') {
+    flagged_trial_slot() = std::strtoull(t, nullptr, 10);
+  }
+}
+
+u64 flagged_trial() { return flagged_trial_slot(); }
+
+ScopedSpan::ScopedSpan(const char* name, std::string args)
+    : name_(name), args_(std::move(args)), start_us_(now_us()) {
+  ThreadSpans& ts = my_spans();
+  std::lock_guard<std::mutex> lock(ts.mu);
+  ts.stack.push_back(name);
+}
+
+ScopedSpan::~ScopedSpan() {
+  ThreadSpans& ts = my_spans();
+  {
+    std::lock_guard<std::mutex> lock(ts.mu);
+    // Spans are strictly scoped, so this frame is the top of the stack.
+    ts.stack.pop_back();
+  }
+  if (TraceSession* s = active_session()) {
+    TraceEvent e;
+    e.name = name_;
+    e.phase = 'X';
+    e.tid = ts.tid;
+    e.ts_us = start_us_;
+    const u64 end = now_us();
+    e.dur_us = end > start_us_ ? end - start_us_ : 0;
+    e.args = std::move(args_);
+    s->record(std::move(e));
+  }
+}
+
+std::vector<SpanStackSnapshot> live_span_stacks() {
+  std::vector<SpanStackSnapshot> out;
+  std::lock_guard<std::mutex> lock(registry_mu());
+  for (ThreadSpans* ts : registry()) {
+    SpanStackSnapshot snap;
+    snap.tid = ts->tid;
+    std::lock_guard<std::mutex> stack_lock(ts->mu);
+    for (const char* frame : ts->stack) snap.frames.emplace_back(frame);
+    out.push_back(std::move(snap));
+  }
+  return out;
+}
+
+void set_step_trace(bool on) { tls_step_trace = on; }
+bool step_trace_enabled() { return tls_step_trace; }
+
+void trace_step(u64 interactions) {
+  if (!tls_step_trace) return;
+  TraceSession* s = active_session();
+  if (s == nullptr) return;
+  TraceEvent e;
+  e.name = "productive-step";
+  e.phase = 'i';
+  e.tid = my_spans().tid;
+  e.ts_us = now_us();
+  e.args = "\"interactions\":" + std::to_string(interactions);
+  s->record(std::move(e));
+}
+
+void trace_instant(const char* name, std::string args) {
+  TraceSession* s = active_session();
+  if (s == nullptr) return;
+  TraceEvent e;
+  e.name = name;
+  e.phase = 'i';
+  e.tid = my_spans().tid;
+  e.ts_us = now_us();
+  e.args = std::move(args);
+  s->record(std::move(e));
+}
+
+#endif  // PP_OBS
+
+}  // namespace pp::obs

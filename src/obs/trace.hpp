@@ -1,0 +1,189 @@
+// Span tracing — the "where did the wall clock go" half of src/obs/.
+//
+// Two cooperating mechanisms:
+//
+//   * Scoped spans.  ScopedSpan("trial-setup") pushes a frame onto this
+//     thread's span stack on entry and pops it on exit (RAII, so spans
+//     nest and always close, including on early returns and observer
+//     aborts).  The stacks are registered globally: the stall watchdog
+//     (obs/watchdog.hpp) snapshots every live stack when a trial exceeds
+//     its deadline, so a hung CI job dumps *what it was doing* instead of
+//     eating the 300 s ceiling in silence.
+//
+//   * Trace sessions.  When a TraceSession is installed, every closed
+//     span additionally records a Chrome trace_event "X" (complete) event
+//     — name, thread, microsecond timestamp and duration — and the
+//     engines' step hook records an instant event per productive step for
+//     the one trial flagged via set_step_trace().  write_json() emits the
+//     {"traceEvents":[...]} document that chrome://tracing and Perfetto
+//     load directly.
+//
+// The global session is opt-in via the environment (the runner calls
+// init_from_env() once): POPRANK_TRACE=<path> writes the trace at process
+// exit; POPRANK_TRACE_TRIAL=<t> flags trial t for per-productive-step
+// instant events.  Tests install their own session with ScopedTraceSession
+// and read the events back in memory.
+//
+// Compiled out (-DPOPRANK_OBS=OFF) this whole header degrades to no-op
+// inlines: no stacks, no registry, no clock reads.
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "obs/counters.hpp"  // the PP_OBS switch
+
+namespace pp::obs {
+
+/// Microseconds since the process-wide trace epoch (steady clock).
+u64 now_us();
+
+struct TraceEvent {
+  std::string name;
+  char phase = 'X';  ///< 'X' complete span, 'i' instant
+  u32 tid = 0;       ///< small stable per-thread id (registration order)
+  u64 ts_us = 0;
+  u64 dur_us = 0;        ///< 'X' only
+  std::string args;      ///< preformatted JSON object body, may be empty
+};
+
+/// One thread's live span stack, as snapshotted for a watchdog dump.
+struct SpanStackSnapshot {
+  u32 tid = 0;
+  std::vector<std::string> frames;  ///< outermost first
+};
+
+#if PP_OBS
+
+/// An in-memory trace-event collector.  Thread-safe; bounded (events past
+/// the cap are dropped and counted, so a mis-flagged huge trial degrades
+/// instead of exhausting memory).
+class TraceSession {
+ public:
+  explicit TraceSession(u64 max_events = 1u << 20) : cap_(max_events) {}
+
+  void record(TraceEvent e);
+
+  /// The {"traceEvents":[...],"displayTimeUnit":"ms"} document; also
+  /// reports dropped events in the metadata when the cap was hit.
+  std::string to_json() const;
+
+  /// Snapshot of the events recorded so far (tests).
+  std::vector<TraceEvent> events() const;
+  u64 dropped() const;
+
+  /// Writes to_json() to `path`; returns false (with a stderr warning)
+  /// when the file cannot be written.
+  bool write_json(const std::string& path) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+  u64 cap_;
+  u64 dropped_ = 0;
+};
+
+/// The session spans and step hooks record into, or nullptr when tracing
+/// is off.  Installed by init_from_env() (process-wide) or
+/// ScopedTraceSession (tests).
+TraceSession* active_session();
+
+/// Installs `s` as the active session for this scope; restores the
+/// previous one on destruction.  Not for concurrent use from multiple
+/// threads (the runner's worker threads *read* the active session; only
+/// install from the orchestrating thread between runs).
+class ScopedTraceSession {
+ public:
+  explicit ScopedTraceSession(TraceSession* s);
+  ~ScopedTraceSession();
+  ScopedTraceSession(const ScopedTraceSession&) = delete;
+  ScopedTraceSession& operator=(const ScopedTraceSession&) = delete;
+
+ private:
+  TraceSession* prev_;
+};
+
+/// Reads POPRANK_TRACE / POPRANK_TRACE_TRIAL once (idempotent, cheap to
+/// call per run): installs a process-lifetime session whose JSON is
+/// written at exit, and remembers the flagged trial index.
+void init_from_env();
+
+/// The trial index flagged for per-productive-step tracing, or
+/// kNoFlaggedTrial.
+inline constexpr u64 kNoFlaggedTrial = ~static_cast<u64>(0);
+u64 flagged_trial();
+
+/// RAII span: maintains the thread's stack always (the watchdog needs it
+/// even when no session collects events) and records a complete event
+/// when a session is active at close.
+class ScopedSpan {
+ public:
+  /// `name` must outlive the span (string literals).  `args` is an
+  /// optional preformatted JSON object body like "\"trial\":7".
+  explicit ScopedSpan(const char* name, std::string args = {});
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_;
+  std::string args_;
+  u64 start_us_;
+};
+
+/// Snapshot of every registered thread's live span stack (watchdog dumps;
+/// also how tests assert spans closed).
+std::vector<SpanStackSnapshot> live_span_stacks();
+
+/// Per-thread flag driving the engines' per-productive-step hook; set by
+/// the runner around the flagged trial.
+void set_step_trace(bool on);
+bool step_trace_enabled();
+
+/// The engine hook: records an instant event for one productive step at
+/// the given interaction count.  One thread-local bool test when tracing
+/// is off — cheap enough for the accelerated loops.
+void trace_step(u64 interactions);
+
+/// Records a free-standing instant event on this thread (heartbeats,
+/// watchdog verdicts) when a session is active.
+void trace_instant(const char* name, std::string args = {});
+
+#else  // !PP_OBS
+
+class TraceSession {
+ public:
+  explicit TraceSession(u64 = 0) {}
+  std::string to_json() const { return "{\"traceEvents\":[]}"; }
+  std::vector<TraceEvent> events() const { return {}; }
+  u64 dropped() const { return 0; }
+  bool write_json(const std::string&) const { return false; }
+};
+
+inline TraceSession* active_session() { return nullptr; }
+
+class ScopedTraceSession {
+ public:
+  explicit ScopedTraceSession(TraceSession*) {}
+};
+
+inline void init_from_env() {}
+inline constexpr u64 kNoFlaggedTrial = ~static_cast<u64>(0);
+inline u64 flagged_trial() { return kNoFlaggedTrial; }
+
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char*, std::string = {}) {}
+};
+
+inline std::vector<SpanStackSnapshot> live_span_stacks() { return {}; }
+inline void set_step_trace(bool) {}
+inline bool step_trace_enabled() { return false; }
+inline void trace_step(u64) {}
+inline void trace_instant(const char*, std::string = {}) {}
+
+#endif
+
+}  // namespace pp::obs

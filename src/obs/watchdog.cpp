@@ -1,0 +1,173 @@
+#include "obs/watchdog.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "obs/trace.hpp"
+
+namespace pp::obs {
+
+namespace {
+
+double env_seconds(const char* name) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || v[0] == '\0') return 0;
+  const double s = std::strtod(v, nullptr);
+  return s > 0 ? s : 0;
+}
+
+}  // namespace
+
+WatchdogOptions watchdog_options_from_env(std::string label, u64 total_trials,
+                                          u64 population) {
+  WatchdogOptions opt;
+  opt.heartbeat_seconds = env_seconds("POPRANK_HEARTBEAT");
+  opt.stall_seconds = env_seconds("POPRANK_STALL_TIMEOUT");
+  opt.label = std::move(label);
+  opt.total_trials = total_trials;
+  opt.population = population;
+  return opt;
+}
+
+ProgressMonitor::ProgressMonitor(WatchdogOptions opt) : opt_(std::move(opt)) {
+  if (opt_.heartbeat_seconds <= 0 && opt_.stall_seconds <= 0) return;
+  start_us_ = now_us();
+  last_heartbeat_us_ = start_us_;
+  thread_ = std::thread([this] { loop(); });
+}
+
+ProgressMonitor::~ProgressMonitor() {
+  if (!thread_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+}
+
+void ProgressMonitor::trial_started(u64 trial) {
+  if (!enabled() || opt_.stall_seconds <= 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  active_.push_back(ActiveTrial{trial, now_us(), false});
+}
+
+void ProgressMonitor::trial_finished(u64 trial, u64 interactions) {
+  trials_done_.fetch_add(1, std::memory_order_relaxed);
+  interactions_done_.fetch_add(interactions, std::memory_order_relaxed);
+  if (!enabled() || opt_.stall_seconds <= 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (u64 i = 0; i < active_.size(); ++i) {
+    if (active_[i].trial == trial) {
+      active_.erase(active_.begin() + static_cast<i64>(i));
+      break;
+    }
+  }
+}
+
+void ProgressMonitor::loop() {
+  // Wake often enough to honour both deadlines without busy-waiting: the
+  // heartbeat interval, a quarter of the stall timeout, whichever is due
+  // sooner (capped below at 10 ms to stay robust against tiny settings).
+  double interval = 3600;
+  if (opt_.heartbeat_seconds > 0) interval = opt_.heartbeat_seconds;
+  if (opt_.stall_seconds > 0 && opt_.stall_seconds / 4 < interval) {
+    interval = opt_.stall_seconds / 4;
+  }
+  if (interval < 0.01) interval = 0.01;
+  const auto wait = std::chrono::duration<double>(interval);
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stopping_) {
+    cv_.wait_for(lock, wait);
+    if (stopping_) break;
+    lock.unlock();
+    tick(false);
+    lock.lock();
+  }
+}
+
+void ProgressMonitor::force_tick() { tick(true); }
+
+void ProgressMonitor::tick(bool force_heartbeat) {
+  const u64 now = now_us();
+  if (opt_.heartbeat_seconds > 0) {
+    const u64 due_us = static_cast<u64>(opt_.heartbeat_seconds * 1e6);
+    if (force_heartbeat || now - last_heartbeat_us_ >= due_us) {
+      last_heartbeat_us_ = now;
+      emit_heartbeat(now);
+    }
+  }
+  if (opt_.stall_seconds > 0) scan_for_stalls(now);
+}
+
+void ProgressMonitor::emit_heartbeat(u64 now) {
+  const u64 done = trials_done_.load(std::memory_order_relaxed);
+  const u64 inter = interactions_done_.load(std::memory_order_relaxed);
+  const double elapsed = static_cast<double>(now - start_us_) / 1e6;
+  const double tps = elapsed > 0 ? static_cast<double>(done) / elapsed : 0;
+  const double ips = elapsed > 0 ? static_cast<double>(inter) / elapsed : 0;
+  std::string eta = "?";
+  if (tps > 0 && opt_.total_trials >= done) {
+    const double remaining = static_cast<double>(opt_.total_trials - done) / tps;
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0fs", remaining);
+    eta = buf;
+  }
+  std::fprintf(stderr,
+               "[poprank] %s: %llu/%llu trials, %.2f trials/s, "
+               "%.3g interactions/s, ETA %s\n",
+               opt_.label.c_str(), static_cast<unsigned long long>(done),
+               static_cast<unsigned long long>(opt_.total_trials), tps, ips,
+               eta.c_str());
+  trace_instant("heartbeat", "\"trials_done\":" + std::to_string(done) +
+                                 ",\"trials\":" +
+                                 std::to_string(opt_.total_trials));
+  heartbeats_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ProgressMonitor::scan_for_stalls(u64 now) {
+  const u64 limit_us = static_cast<u64>(opt_.stall_seconds * 1e6);
+  std::vector<ActiveTrial> stalled;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (ActiveTrial& t : active_) {
+      if (!t.dumped && now - t.since_us >= limit_us) {
+        t.dumped = true;
+        stalled.push_back(t);
+      }
+    }
+  }
+  if (stalled.empty()) return;
+  for (const ActiveTrial& t : stalled) {
+    const double age = static_cast<double>(now - t.since_us) / 1e6;
+    std::fprintf(stderr,
+                 "[poprank] STALL: %s trial %llu has run %.1f s "
+                 "(limit %.1f s); live span stacks:\n",
+                 opt_.label.c_str(), static_cast<unsigned long long>(t.trial),
+                 age, opt_.stall_seconds);
+  }
+  const std::vector<SpanStackSnapshot> stacks = live_span_stacks();
+  if (stacks.empty()) {
+    std::fprintf(stderr,
+                 "  (no span stacks — build with -DPOPRANK_OBS=ON for "
+                 "per-thread context)\n");
+  }
+  for (const SpanStackSnapshot& s : stacks) {
+    std::string joined;
+    for (const std::string& frame : s.frames) {
+      if (!joined.empty()) joined += " > ";
+      joined += frame;
+    }
+    if (joined.empty()) joined = "(idle)";
+    std::fprintf(stderr, "  thread %u: %s\n", s.tid, joined.c_str());
+  }
+  trace_instant("stall", "\"trial\":" + std::to_string(stalled[0].trial));
+  stall_dumps_.fetch_add(stalled.size(), std::memory_order_relaxed);
+  if (opt_.abort_on_stall) {
+    std::fprintf(stderr, "[poprank] aborting on stalled trial\n");
+    std::abort();
+  }
+}
+
+}  // namespace pp::obs

@@ -1,0 +1,100 @@
+// Runner heartbeat + stalled-trial watchdog.
+//
+// Long sweeps on CI fail in the worst possible way: silently, by eating
+// the per-test 300 s ceiling and getting killed with no clue which trial
+// hung.  ProgressMonitor is the antidote — a small background thread the
+// runner starts around each trial set that
+//
+//   * prints a heartbeat line every POPRANK_HEARTBEAT seconds (trials
+//     done/total, trials/s, interactions/s, ETA) to stderr, and mirrors
+//     it as a trace instant event when a trace session is active; and
+//
+//   * watches every in-flight trial's age.  When one exceeds
+//     POPRANK_STALL_TIMEOUT seconds the monitor dumps the stalled trial
+//     and every live span stack (obs/trace.hpp) to stderr — "trial 17,
+//     in scheduler-run > markov-loop for 63 s" — and then aborts, so CI
+//     reports a diagnosed failure in stall_timeout seconds instead of an
+//     anonymous timeout at the ceiling.
+//
+// Both behaviours are off unless their environment variable sets a
+// positive number of seconds; a disabled monitor starts no thread and
+// costs two relaxed atomic writes per trial.  This header is compiled
+// unconditionally — the monitor never touches trajectories (no RNG, no
+// clock reads on the trial threads), so it is safe to keep even in the
+// bit-identical POPRANK_OBS=OFF builds (its span-stack dumps are simply
+// empty there).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace pp::obs {
+
+struct WatchdogOptions {
+  double heartbeat_seconds = 0;  ///< 0 = no heartbeat
+  double stall_seconds = 0;      ///< 0 = no stall detection
+  bool abort_on_stall = true;    ///< tests set false to observe the dump
+  std::string label;             ///< printed on every line
+  u64 total_trials = 0;
+  u64 population = 0;  ///< n, for the interactions/s rate line
+};
+
+/// Reads POPRANK_HEARTBEAT / POPRANK_STALL_TIMEOUT (seconds; unset, empty
+/// or <= 0 disables the respective behaviour).
+WatchdogOptions watchdog_options_from_env(std::string label, u64 total_trials,
+                                          u64 population);
+
+class ProgressMonitor {
+ public:
+  explicit ProgressMonitor(WatchdogOptions opt);
+  ~ProgressMonitor();
+  ProgressMonitor(const ProgressMonitor&) = delete;
+  ProgressMonitor& operator=(const ProgressMonitor&) = delete;
+
+  bool enabled() const { return thread_.joinable(); }
+
+  /// Called by the trial threads (cheap; lock-free when disabled).
+  void trial_started(u64 trial);
+  void trial_finished(u64 trial, u64 interactions);
+
+  // Introspection for tests.
+  u64 heartbeats() const { return heartbeats_.load(); }
+  u64 stall_dumps() const { return stall_dumps_.load(); }
+  /// Runs one monitor pass (heartbeat if due, stall scan) synchronously.
+  void force_tick();
+
+ private:
+  struct ActiveTrial {
+    u64 trial = 0;
+    u64 since_us = 0;
+    bool dumped = false;  ///< dump once per stalled trial, not per scan
+  };
+
+  void loop();
+  void tick(bool force_heartbeat);
+  void emit_heartbeat(u64 now);
+  void scan_for_stalls(u64 now);
+
+  WatchdogOptions opt_;
+  std::atomic<u64> trials_done_{0};
+  std::atomic<u64> interactions_done_{0};
+  std::atomic<u64> heartbeats_{0};
+  std::atomic<u64> stall_dumps_{0};
+
+  std::mutex mu_;  // guards active_ and cv_
+  std::vector<ActiveTrial> active_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+
+  u64 start_us_ = 0;
+  u64 last_heartbeat_us_ = 0;
+  std::thread thread_;
+};
+
+}  // namespace pp::obs

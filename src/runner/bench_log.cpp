@@ -42,11 +42,13 @@ BenchLog BenchLog::open(const std::string& dir,
     << json_escape(info.size) << "\"}\n";
   log.path_ = path;
   log.run_id_ = run_id;
+  log.manifest_ = obs::ManifestWriter::open(path, run_id);
   return log;
 }
 
 void BenchLog::append_point(const std::string& point, u64 n, double param,
-                            const TrialSet& set) const {
+                            const TrialSet& set,
+                            const TrialSpec* spec) const {
   if (!enabled()) return;
   std::ofstream f(path_, std::ios::app);
   if (!f.good()) return;  // open() already warned about the unwritable path
@@ -63,7 +65,15 @@ void BenchLog::append_point(const std::string& point, u64 n, double param,
   std::snprintf(num, sizeof(num), "%.17g", set.stats.parallel_time.mean());
   f << ",\"mean_parallel_time\":" << num
     << ",\"timeouts\":" << set.stats.timeouts
-    << ",\"invalid\":" << set.stats.invalid << "}\n";
+    << ",\"invalid\":" << set.stats.invalid;
+  // Counters ride along only when something was recorded, so BENCH records
+  // from a POPRANK_OBS=OFF build (and the committed regression baselines)
+  // keep their exact pre-obs schema.
+  if (!set.counters.deterministic_empty()) {
+    f << ",\"counters\":" << set.counters.to_json();
+  }
+  f << "}\n";
+  if (spec != nullptr) manifest_.append_point(*spec, set, n, param);
 }
 
 }  // namespace pp

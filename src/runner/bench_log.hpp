@@ -16,6 +16,7 @@
 #include <string>
 
 #include "common/types.hpp"
+#include "obs/provenance.hpp"
 #include "runner/runner.hpp"
 
 namespace pp {
@@ -46,13 +47,19 @@ class BenchLog {
   u64 run_id() const { return run_id_; }
 
   /// Appends one per-point record (same schema the previous inline writer
-  /// produced, plus the run id).
+  /// produced, plus the run id).  When `spec` is given the record also
+  /// carries the merged obs counters (omitted while empty, so the
+  /// POPRANK_OBS=OFF schema is byte-identical to the pre-obs one) and a
+  /// replayable point is appended to the BENCH file's provenance sidecar
+  /// `<path>.manifest.json`.
   void append_point(const std::string& point, u64 n, double param,
-                    const TrialSet& set) const;
+                    const TrialSet& set,
+                    const TrialSpec* spec = nullptr) const;
 
  private:
   std::string path_;
   u64 run_id_ = 0;
+  obs::ManifestWriter manifest_;  ///< disabled alongside the log itself
 };
 
 }  // namespace pp

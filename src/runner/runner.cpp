@@ -4,6 +4,8 @@
 
 #include "common/assert.hpp"
 #include "core/initial.hpp"
+#include "obs/trace.hpp"
+#include "obs/watchdog.hpp"
 #include "protocols/factory.hpp"
 
 namespace pp {
@@ -36,6 +38,7 @@ void AggregateStats::fold(const TrialRecord& r) {
   } else if (!r.valid) {
     ++invalid;
   }
+  fault_events += r.fault_events;
   parallel_time.push(r.parallel_time);
   interactions.push(static_cast<double>(r.interactions));
   productive_steps.push(static_cast<double>(r.productive_steps));
@@ -59,41 +62,64 @@ namespace {
 // (immutable, thread-safe) scheduler for the whole trial set instead of
 // once per trial — graph topologies can be O(n^2) to construct.
 TrialRecord run_one_trial_impl(const TrialSpec& spec, u64 trial_index,
-                               u64 seed, const Scheduler* shared_scheduler) {
+                               u64 seed, const Scheduler* shared_scheduler,
+                               obs::CounterBlock* block) {
+#if PP_OBS
+  const u64 t0_us = obs::now_us();
+#endif
+  // The block is per *trial*, so the merged counters inherit the runner's
+  // thread-count-independent determinism.  Step tracing is per-thread
+  // state scoped to the one flagged trial.
+  obs::ScopedCounters counters(block);
+  const bool step_trace = trial_index == obs::flagged_trial();
+  if (step_trace) obs::set_step_trace(true);
   Rng rng(seed);
-  ProtocolPtr p = spec.resolve_factory()();
-  if (spec.init) {
-    p->reset(spec.init(*p, rng));
-  } else {
-    p->reset(initial::uniform_random(*p, rng));
+  ProtocolPtr p;
+  {
+    obs::ScopedSpan span("trial-setup",
+                         "\"trial\":" + std::to_string(trial_index));
+    p = spec.resolve_factory()();
+    if (spec.init) {
+      p->reset(spec.init(*p, rng));
+    } else {
+      p->reset(initial::uniform_random(*p, rng));
+    }
   }
   RunResult r;
-  switch (spec.engine) {
-    case EngineKind::kAccelerated: {
-      RunOptions ro;
-      ro.max_interactions = spec.max_interactions;
-      r = run_accelerated(*p, rng, ro);
-      break;
-    }
-    case EngineKind::kUniform: {
-      RunOptions ro;
-      ro.max_interactions = spec.max_interactions;
-      r = run_uniform(*p, rng, ro);
-      break;
-    }
-    case EngineKind::kScheduled: {
-      SchedulerPtr own;
-      const Scheduler* s = shared_scheduler;
-      if (s == nullptr) {
-        own = make_scheduler(spec.scheduler, p->num_agents());
-        s = own.get();
+  {
+    obs::ScopedSpan span("scheduler-run",
+                         "\"trial\":" + std::to_string(trial_index));
+    switch (spec.engine) {
+      case EngineKind::kAccelerated: {
+        RunOptions ro;
+        ro.max_interactions = spec.max_interactions;
+        r = run_accelerated(*p, rng, ro);
+        break;
       }
-      RunOptions ro;
-      ro.max_interactions = spec.max_interactions;
-      r = s->run(*p, rng, ro);
-      break;
+      case EngineKind::kUniform: {
+        RunOptions ro;
+        ro.max_interactions = spec.max_interactions;
+        r = run_uniform(*p, rng, ro);
+        break;
+      }
+      case EngineKind::kScheduled: {
+        SchedulerPtr own;
+        const Scheduler* s = shared_scheduler;
+        if (s == nullptr) {
+          own = make_scheduler(spec.scheduler, p->num_agents());
+          s = own.get();
+        }
+        RunOptions ro;
+        ro.max_interactions = spec.max_interactions;
+        r = s->run(*p, rng, ro);
+        break;
+      }
     }
   }
+  if (step_trace) obs::set_step_trace(false);
+#if PP_OBS
+  if (block != nullptr) block->wall_us = obs::now_us() - t0_us;
+#endif
   TrialRecord rec;
   rec.trial = trial_index;
   rec.seed = seed;
@@ -109,12 +135,13 @@ TrialRecord run_one_trial_impl(const TrialSpec& spec, u64 trial_index,
 }  // namespace
 
 TrialRecord run_one_trial(const TrialSpec& spec, u64 trial_index, u64 seed) {
-  return run_one_trial_impl(spec, trial_index, seed, nullptr);
+  return run_one_trial_impl(spec, trial_index, seed, nullptr, nullptr);
 }
 
 TrialSet run_trials(const TrialSpec& spec, const RunnerOptions& opt,
                     ThreadPool& pool) {
   PP_ASSERT(opt.trials >= 1);
+  obs::init_from_env();  // POPRANK_TRACE / POPRANK_TRACE_TRIAL, idempotent
   const SeedStream seeds(opt.master_seed, spec.label);
 
   // One scheduler for the whole set: Scheduler::run is const and all
@@ -127,14 +154,33 @@ TrialSet run_trials(const TrialSpec& spec, const RunnerOptions& opt,
 
   TrialSet out;
   out.threads = pool.size();
+  out.master_seed = opt.master_seed;
   out.records.resize(opt.trials);
+
+#if PP_OBS
+  // One counter block per trial (merged in trial order below); skipped
+  // entirely when the layer is compiled out.
+  std::vector<obs::CounterBlock> blocks(opt.trials);
+  obs::CounterBlock* const blocks_data = blocks.data();
+#else
+  obs::CounterBlock* const blocks_data = nullptr;
+#endif
+
+  // Heartbeat / stall watchdog, armed only via the environment
+  // (POPRANK_HEARTBEAT / POPRANK_STALL_TIMEOUT).
+  obs::ProgressMonitor monitor(
+      obs::watchdog_options_from_env(spec.label, opt.trials, spec.n));
 
   const auto t0 = std::chrono::steady_clock::now();
   // Each trial writes only records[t]; no cross-thread state.  The shared
   // spec is read-only (resolve_factory() copies what it captures).
   pool.parallel_for(opt.trials, [&](u64 t) {
-    out.records[t] = run_one_trial_impl(spec, t, seeds.trial_seed(t),
-                                        shared_scheduler.get());
+    monitor.trial_started(t);
+    out.records[t] =
+        run_one_trial_impl(spec, t, seeds.trial_seed(t),
+                           shared_scheduler.get(),
+                           blocks_data == nullptr ? nullptr : blocks_data + t);
+    monitor.trial_finished(t, out.records[t].interactions);
   });
   const auto t1 = std::chrono::steady_clock::now();
   out.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
@@ -145,6 +191,9 @@ TrialSet run_trials(const TrialSpec& spec, const RunnerOptions& opt,
   // Deterministic aggregation: fold in trial-index order, never in
   // completion order.
   for (const TrialRecord& r : out.records) out.stats.fold(r);
+#if PP_OBS
+  for (const obs::CounterBlock& b : blocks) out.counters.merge(b);
+#endif
   if (!opt.keep_records) {
     out.records.clear();
     out.records.shrink_to_fit();

@@ -24,6 +24,7 @@
 #include "analysis/stats.hpp"
 #include "core/engine.hpp"
 #include "core/protocol.hpp"
+#include "obs/counters.hpp"
 #include "runner/seed_stream.hpp"
 #include "runner/thread_pool.hpp"
 #include "schedulers/scheduler.hpp"
@@ -79,7 +80,8 @@ struct TrialRecord {
   u64 seed = 0;   ///< the derived per-trial seed (for replaying one trial)
   u64 interactions = 0;
   u64 productive_steps = 0;
-  u64 fault_events = 0;  ///< environmental faults injected (churn only)
+  u64 fault_events = 0;  ///< environmental faults injected (churn events,
+                         ///< partition split/heal transitions)
   double parallel_time = 0;
   bool silent = false;
   bool valid = false;
@@ -94,6 +96,9 @@ struct AggregateStats {
   /// stuck (no productive edge left on the topology).
   u64 timeouts = 0;
   u64 invalid = 0;  ///< silent but not a valid ranking (never expected)
+  /// Total environmental faults injected across the set (churn events and
+  /// partition split/heal transitions).
+  u64 fault_events = 0;
   RunningStat parallel_time;
   RunningStat interactions;
   RunningStat productive_steps;
@@ -106,6 +111,15 @@ struct TrialSet {
   /// One record per trial, ordered by trial index; cleared when
   /// RunnerOptions::keep_records is false.
   std::vector<TrialRecord> records;
+
+  /// Merged observability metrics (obs/counters.hpp), folded in trial
+  /// order — bit-identical for every thread count, like the stats.
+  /// deterministic_empty() when POPRANK_OBS=OFF.
+  obs::CounterBlock counters;
+
+  /// The master seed the set ran under (echoed for provenance manifests;
+  /// per-trial seeds derive from it and the spec label).
+  u64 master_seed = 0;
 
   // Throughput bookkeeping (wall clock, not part of the determinism
   // guarantee).

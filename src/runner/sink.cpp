@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "common/assert.hpp"
+#include "obs/trace.hpp"
 
 namespace pp {
 namespace {
@@ -70,7 +71,9 @@ std::string json_escape(std::string_view s) {
 // ---- CSV -----------------------------------------------------------------
 
 CsvSink::CsvSink(const std::string& path)
-    : file_(open_or_die(path)), out_(file_.get()) {}
+    : file_(open_or_die(path)),
+      out_(file_.get()),
+      manifest_(obs::ManifestWriter::open(path, 0)) {}
 
 CsvSink::CsvSink(std::ostream& out) : out_(&out) {}
 
@@ -84,12 +87,14 @@ void CsvSink::set_mode(Mode m) {
              "productive_steps,fault_events,silent,valid\n";
   } else {
     *out_ << "label,protocol,n,engine,trials,threads,timeouts,invalid,"
-             "mean_parallel_time,stddev_parallel_time,min_parallel_time,"
-             "max_parallel_time,wall_seconds,trials_per_sec\n";
+             "fault_events,mean_parallel_time,stddev_parallel_time,"
+             "min_parallel_time,max_parallel_time,wall_seconds,"
+             "trials_per_sec\n";
   }
 }
 
 void CsvSink::write_trials(const TrialSpec& spec, const TrialSet& set) {
+  obs::ScopedSpan span("sink-flush");
   set_mode(Mode::kTrials);
   const std::string prefix = spec.label + "," + spec_name(spec) + "," +
                              std::to_string(spec.n) + "," +
@@ -101,29 +106,35 @@ void CsvSink::write_trials(const TrialSpec& spec, const TrialSet& set) {
           << (r.silent ? 1 : 0) << "," << (r.valid ? 1 : 0) << "\n";
   }
   out_->flush();
+  manifest_.append_point(spec, set, spec.n, 0);
 }
 
 void CsvSink::write_aggregate(const TrialSpec& spec, const TrialSet& set) {
+  obs::ScopedSpan span("sink-flush");
   set_mode(Mode::kAggregates);
   const AggregateStats& a = set.stats;
   *out_ << spec.label << "," << spec_name(spec) << "," << spec.n << ","
         << engine_detail(spec) << "," << a.trials << ","
         << set.threads << "," << a.timeouts << "," << a.invalid << ","
-        << fmt(a.parallel_time.mean()) << "," << fmt(a.parallel_time.stddev())
-        << "," << fmt(a.parallel_time.min()) << ","
-        << fmt(a.parallel_time.max()) << "," << fmt(set.wall_seconds) << ","
-        << fmt(set.trials_per_sec) << "\n";
+        << a.fault_events << "," << fmt(a.parallel_time.mean()) << ","
+        << fmt(a.parallel_time.stddev()) << "," << fmt(a.parallel_time.min())
+        << "," << fmt(a.parallel_time.max()) << "," << fmt(set.wall_seconds)
+        << "," << fmt(set.trials_per_sec) << "\n";
   out_->flush();
+  manifest_.append_point(spec, set, spec.n, 0);
 }
 
 // ---- JSON-lines ----------------------------------------------------------
 
 JsonlSink::JsonlSink(const std::string& path)
-    : file_(open_or_die(path)), out_(file_.get()) {}
+    : file_(open_or_die(path)),
+      out_(file_.get()),
+      manifest_(obs::ManifestWriter::open(path, 0)) {}
 
 JsonlSink::JsonlSink(std::ostream& out) : out_(&out) {}
 
 void JsonlSink::write_trials(const TrialSpec& spec, const TrialSet& set) {
+  obs::ScopedSpan span("sink-flush");
   const std::string prefix =
       "{\"kind\":\"trial\",\"label\":\"" + json_escape(spec.label) +
       "\",\"protocol\":\"" + json_escape(spec_name(spec)) +
@@ -139,9 +150,11 @@ void JsonlSink::write_trials(const TrialSpec& spec, const TrialSet& set) {
           << ",\"valid\":" << (r.valid ? "true" : "false") << "}\n";
   }
   out_->flush();
+  manifest_.append_point(spec, set, spec.n, 0);
 }
 
 void JsonlSink::write_aggregate(const TrialSpec& spec, const TrialSet& set) {
+  obs::ScopedSpan span("sink-flush");
   const AggregateStats& a = set.stats;
   *out_ << "{\"kind\":\"aggregate\",\"label\":\"" << json_escape(spec.label)
         << "\",\"protocol\":\"" << json_escape(spec_name(spec))
@@ -149,6 +162,7 @@ void JsonlSink::write_aggregate(const TrialSpec& spec, const TrialSet& set) {
         << engine_detail(spec) << "\",\"trials\":" << a.trials
         << ",\"threads\":" << set.threads << ",\"timeouts\":" << a.timeouts
         << ",\"invalid\":" << a.invalid
+        << ",\"fault_events\":" << a.fault_events
         << ",\"mean_parallel_time\":" << fmt(a.parallel_time.mean())
         << ",\"stddev_parallel_time\":" << fmt(a.parallel_time.stddev())
         << ",\"min_parallel_time\":" << fmt(a.parallel_time.min())
@@ -156,6 +170,7 @@ void JsonlSink::write_aggregate(const TrialSpec& spec, const TrialSet& set) {
         << ",\"wall_seconds\":" << fmt(set.wall_seconds)
         << ",\"trials_per_sec\":" << fmt(set.trials_per_sec) << "}\n";
   out_->flush();
+  manifest_.append_point(spec, set, spec.n, 0);
 }
 
 }  // namespace pp

@@ -6,6 +6,12 @@
 // byte-identical across thread counts) and one row/object per measurement
 // point via write_aggregate().  A sink can be backed by an owned file or by
 // a caller-owned stream (used by the tests).
+//
+// File-backed sinks additionally maintain a provenance sidecar
+// `<path>.manifest.json` (obs/provenance.hpp): one point record per write
+// call, carrying the full replayable spec, master seed and merged obs
+// counters — any row of the artifact can be reproduced from its sidecar
+// alone.  Stream-backed sinks have no artifact path and write no sidecar.
 #pragma once
 
 #include <fstream>
@@ -13,6 +19,7 @@
 #include <ostream>
 #include <string>
 
+#include "obs/provenance.hpp"
 #include "runner/runner.hpp"
 
 namespace pp {
@@ -45,6 +52,7 @@ class CsvSink : public TrialSink {
 
   std::unique_ptr<std::ofstream> file_;
   std::ostream* out_;
+  obs::ManifestWriter manifest_;  ///< disabled for stream-backed sinks
   Mode mode_ = Mode::kUnset;
 };
 
@@ -61,6 +69,7 @@ class JsonlSink : public TrialSink {
  private:
   std::unique_ptr<std::ofstream> file_;
   std::ostream* out_;
+  obs::ManifestWriter manifest_;  ///< disabled for stream-backed sinks
 };
 
 /// Minimal JSON string escaping (quotes, backslashes, control chars).

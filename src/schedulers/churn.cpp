@@ -2,6 +2,7 @@
 
 #include "common/assert.hpp"
 #include "core/configuration.hpp"
+#include "obs/counters.hpp"
 
 namespace pp {
 
@@ -60,10 +61,16 @@ RunResult ChurnScheduler::run(Protocol& p, Rng& rng,
       changed = c.counts != p.counts();
       if (changed) p.reset(c);
       ++r.fault_events;
+      PP_OBS_INC(kFaultEvents);
+      PP_OBS_ADD(kFaultAgentMoves, faults_);
+      PP_OBS_SKETCH(kFaultBurst, faults_);
       // A fault is environmental, never a productive step of the protocol.
     } else {
       changed = p.step_uniform(rng);
-      if (changed) ++r.productive_steps;
+      if (changed) {
+        ++r.productive_steps;
+        PP_OBS_INC(kProductiveSteps);
+      }
     }
     if (changed && opt.on_change && !opt.on_change(p, r.interactions)) {
       r.aborted = true;

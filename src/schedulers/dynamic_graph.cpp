@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/assert.hpp"
+#include "obs/counters.hpp"
 #include "schedulers/pair_sampler.hpp"
 
 namespace pp {
@@ -346,7 +347,10 @@ struct SparseMarkovState {
       const auto [a, b] = rng.ordered_pair(n);
       const u32 u = static_cast<u32>(std::min(a, b));
       const u32 v = static_cast<u32>(std::max(a, b));
-      if (entry_of.count(key(u, v)) != 0) continue;
+      if (entry_of.count(key(u, v)) != 0) {
+        PP_OBS_INC(kRosterRejections);
+        continue;
+      }
       bool duplicate = false;
       for (const auto& picked : out) {
         if (picked.first == u && picked.second == v) {

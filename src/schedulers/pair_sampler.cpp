@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/assert.hpp"
+#include "obs/counters.hpp"
 
 namespace pp {
 
@@ -220,6 +221,7 @@ GroupedKernelSampler::GroupedKernelSampler(const DistanceKernel& kernel,
 
 u64 GroupedKernelSampler::member_mass(u64 a,
                                       const std::vector<u32>& group) const {
+  PP_OBS_ADD(kGroupTouches, group.size());
   u64 m = 0;
   for (const u32 x : group) {
     if (x != a) m += 2 * kernel_->weight(a, x);
@@ -232,6 +234,8 @@ std::pair<u64, u64> GroupedKernelSampler::sample_productive(Rng& rng) const {
   const StateId s =
       static_cast<StateId>(productive_.find(rng.below(productive_.total())));
   const std::vector<u32>& g = group_[s];
+  PP_OBS_ADD(kGroupTouches, g.size());
+  PP_OBS_SKETCH(kGroupSize, g.size());
   u64 target = rng.below(productive_.get(s));
   // Resolve the pair inside the group: the stored mass is exactly
   // Σ_{x<y} 2 w(x, y), so the scan must land.  Each unordered pair covers
@@ -283,6 +287,7 @@ DirectedPairRoster::DirectedPairRoster(u64 initial_capacity) {
 }
 
 void DirectedPairRoster::grow(u64 new_capacity) {
+  PP_OBS_INC(kRosterGrows);
   std::vector<u64> weights(2 * new_capacity, 0);
   std::vector<u8> flags(2 * new_capacity, 0);
   for (u64 d = 0; d < 2 * size_; ++d) {

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "common/assert.hpp"
+#include "obs/counters.hpp"
 
 namespace pp {
 
@@ -54,6 +55,7 @@ RunResult PartitionScheduler::run(Protocol& p, Rng& rng,
       agents[a] = sa;
       agents[b] = sb;
       ++r.productive_steps;
+      PP_OBS_INC(kProductiveSteps);
       if (opt.on_change && !opt.on_change(p, r.interactions)) {
         r.aborted = true;
         return false;
@@ -62,8 +64,18 @@ RunResult PartitionScheduler::run(Protocol& p, Rng& rng,
     return true;
   };
 
+  // Each topology change the environment imposes — cutting the links into
+  // blocks, healing them back — is a fault event, counted exactly like a
+  // churn storm's faults so RunResult::fault_events means "environmental
+  // interventions" across every hostile model, not just churn.
+  const auto inject = [&r] {
+    ++r.fault_events;
+    PP_OBS_INC(kFaultEvents);
+  };
   for (u64 cycle = 0; cycle < cycles_; ++cycle) {
+    inject();  // split: cross-block links go down
     if (!phase(split_len, /*split=*/true)) break;
+    inject();  // heal: all links restored
     if (!phase(heal_len, /*split=*/false)) break;
   }
 
