@@ -12,6 +12,7 @@
 
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "analysis/stats.hpp"
 #include "core/engine.hpp"

@@ -15,6 +15,8 @@
 // tree protocol's reset waves (ranks_held collapses to 0, then regrows).
 #pragma once
 
+#include <functional>
+#include <string>
 #include <vector>
 
 #include "analysis/table.hpp"

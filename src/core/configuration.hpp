@@ -8,6 +8,7 @@
 #pragma once
 
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "common/types.hpp"

@@ -46,7 +46,7 @@ bool advance_past_nulls(Rng& rng, double prob, u64 budget,
   PP_OBS_ADD(kNullSkips, skip);
   PP_OBS_SKETCH(kNullSkipGap, skip);
   PP_OBS_INC(kProductiveSteps);
-  obs::trace_step(interactions);
+  PP_OBS_TRACE_STEP(interactions);
   return true;
 }
 
@@ -83,7 +83,7 @@ RunResult run_uniform(Protocol& p, Rng& rng, const RunOptions& opt) {
     if (p.step_uniform(rng)) {
       ++r.productive_steps;
       PP_OBS_INC(kProductiveSteps);
-      obs::trace_step(r.interactions);
+      PP_OBS_TRACE_STEP(r.interactions);
       if (opt.on_change && !opt.on_change(p, r.interactions)) {
         r.aborted = true;
         return finish(p, r);

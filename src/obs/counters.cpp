@@ -74,25 +74,35 @@ bool CounterBlock::deterministic_equal(const CounterBlock& a,
 }
 
 std::string CounterBlock::to_json(bool include_wall) const {
+  // Sequential appends rather than operator+ chains: one buffer, no
+  // temporaries, and it sidesteps GCC 12's bogus -Wrestrict on
+  // (const char* + string&&) under -O2 (upstream PR 105329), which the
+  // hardened -Werror build would otherwise trip over.
   std::string out = "{\"counters\":{";
   for (u32 c = 0; c < kNumCounters; ++c) {
     if (c != 0) out += ",";
-    out += std::string("\"") + counter_name(static_cast<Counter>(c)) +
-           "\":" + std::to_string(counter[c]);
+    out += '"';
+    out += counter_name(static_cast<Counter>(c));
+    out += "\":";
+    out += std::to_string(counter[c]);
   }
   out += "},\"sketches\":{";
   for (u32 s = 0; s < kNumSketches; ++s) {
     if (s != 0) out += ",";
-    out += std::string("\"") + sketch_name(static_cast<Sketch>(s)) +
-           "\":{\"count\":" +
-           std::to_string(sketch_count(static_cast<Sketch>(s))) +
-           ",\"buckets\":{";
+    out += '"';
+    out += sketch_name(static_cast<Sketch>(s));
+    out += "\":{\"count\":";
+    out += std::to_string(sketch_count(static_cast<Sketch>(s)));
+    out += ",\"buckets\":{";
     bool first = true;
     for (u32 b = 0; b < kSketchBuckets; ++b) {
       if (sketch[s][b] == 0) continue;
       if (!first) out += ",";
       first = false;
-      out += "\"" + std::to_string(b) + "\":" + std::to_string(sketch[s][b]);
+      out += '"';
+      out += std::to_string(b);
+      out += "\":";
+      out += std::to_string(sketch[s][b]);
     }
     out += "}}";
   }

@@ -33,6 +33,7 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 
 #include "runner/runner.hpp"
 

@@ -187,3 +187,25 @@ inline void trace_instant(const char*, std::string = {}) {}
 #endif
 
 }  // namespace pp::obs
+
+// Macro forms for hook call sites outside src/obs/, completing the layer
+// counters.hpp starts with PP_OBS_INC/ADD/SKETCH.  The project lint's R3
+// rule (tools/lint/poprank_lint.py) requires every obs hook outside this
+// directory to flow through these wrappers (or an explicit `#if PP_OBS`
+// region), which is what makes the POPRANK_OBS=OFF build *provably*
+// hook-free by token inspection: compiled OFF, the wrappers expand to
+// nothing and their argument expressions are never evaluated.
+#if PP_OBS
+#define PP_OBS_DETAIL_CAT2(a, b) a##b
+#define PP_OBS_DETAIL_CAT(a, b) PP_OBS_DETAIL_CAT2(a, b)
+/// Opens a uniquely-named RAII span for the rest of the enclosing scope:
+/// PP_OBS_SPAN("sink-flush");  or  PP_OBS_SPAN("trial-setup", args_json).
+#define PP_OBS_SPAN(...)                                      \
+  ::pp::obs::ScopedSpan PP_OBS_DETAIL_CAT(pp_obs_span_line_, \
+                                          __LINE__)(__VA_ARGS__)
+/// The engines' per-productive-step instant hook.
+#define PP_OBS_TRACE_STEP(interactions) ::pp::obs::trace_step(interactions)
+#else
+#define PP_OBS_SPAN(...) ((void)0)
+#define PP_OBS_TRACE_STEP(interactions) ((void)0)
+#endif

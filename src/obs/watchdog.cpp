@@ -93,9 +93,14 @@ void ProgressMonitor::tick(bool force_heartbeat) {
   const u64 now = now_us();
   if (opt_.heartbeat_seconds > 0) {
     const u64 due_us = static_cast<u64>(opt_.heartbeat_seconds * 1e6);
-    if (force_heartbeat || now - last_heartbeat_us_ >= due_us) {
-      last_heartbeat_us_ = now;
-      emit_heartbeat(now);
+    u64 last = last_heartbeat_us_.load(std::memory_order_relaxed);
+    if (force_heartbeat || now - last >= due_us) {
+      // CAS so the monitor thread and a concurrent force_tick() caller
+      // can't both claim the same interval; a forced tick emits its line
+      // regardless (callers use it to flush a final progress report).
+      const bool claimed = last_heartbeat_us_.compare_exchange_strong(
+          last, now, std::memory_order_relaxed);
+      if (claimed || force_heartbeat) emit_heartbeat(now);
     }
   }
   if (opt_.stall_seconds > 0) scan_for_stalls(now);

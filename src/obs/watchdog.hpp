@@ -92,8 +92,10 @@ class ProgressMonitor {
   std::condition_variable cv_;
   bool stopping_ = false;
 
-  u64 start_us_ = 0;
-  u64 last_heartbeat_us_ = 0;
+  u64 start_us_ = 0;  // written before thread_ starts, read-only after
+  // tick() runs on the monitor thread AND on any caller of force_tick();
+  // the heartbeat clock they both read-modify-write must be atomic.
+  std::atomic<u64> last_heartbeat_us_{0};
   std::thread thread_;
 };
 

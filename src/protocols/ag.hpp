@@ -9,6 +9,9 @@
 // bench_ag_scaling / bench_tradeoff_table here).
 #pragma once
 
+#include <string_view>
+#include <utility>
+
 #include "core/protocol.hpp"
 
 namespace pp {

@@ -205,7 +205,9 @@ std::pair<StateId, StateId> SingleLineProtocol::transition(
 std::vector<u64> SingleLineProtocol::beta() const {
   std::vector<u64> out(traps_, 0);
   for (u64 a = 0; a < traps_; ++a) {
-    for (u64 b = 1; b <= inner_; ++b) out[a] += count(gate(a) + b);
+    for (u64 b = 1; b <= inner_; ++b) {
+      out[a] += count(static_cast<StateId>(gate(a) + b));
+    }
   }
   return out;
 }

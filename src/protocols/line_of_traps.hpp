@@ -28,6 +28,9 @@
 #pragma once
 
 #include <span>
+#include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "core/protocol.hpp"

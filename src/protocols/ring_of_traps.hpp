@@ -16,6 +16,10 @@
 // function K = k1 + 2 k2 for the invariant property tests.
 #pragma once
 
+#include <string>
+#include <string_view>
+#include <utility>
+
 #include "core/protocol.hpp"
 #include "structures/ring_layout.hpp"
 

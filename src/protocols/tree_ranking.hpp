@@ -31,6 +31,10 @@
 // asymptotic claim.
 #pragma once
 
+#include <string>
+#include <string_view>
+#include <utility>
+
 #include "core/protocol.hpp"
 #include "structures/balanced_tree.hpp"
 

@@ -8,6 +8,7 @@
 //   * Fisher-Yates shuffling and distinct-pair sampling.
 #pragma once
 
+#include <utility>
 #include <vector>
 
 #include "common/types.hpp"

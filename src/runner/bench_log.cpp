@@ -18,9 +18,11 @@ BenchLog BenchLog::open(const std::string& dir,
   const std::string path =
       (dir.empty() ? std::string(".") : dir) + "/BENCH_" +
       slugify(experiment_id) + ".json";
+  // poprank-lint: allow(R1): run ids are wall-clock-salted by design so two
+  // invocations of the same bench never collide; no trial result reads them.
   const u64 now = static_cast<u64>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::system_clock::now().time_since_epoch())
+      std::chrono::duration_cast<std::chrono::nanoseconds>(  // poprank-lint: allow(R1)
+          std::chrono::system_clock::now().time_since_epoch())  // poprank-lint: allow(R1)
           .count());
   // A process-local counter keeps ids distinct even where system_clock
   // ticks coarser than the gap between two open() calls.

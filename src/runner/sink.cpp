@@ -94,7 +94,7 @@ void CsvSink::set_mode(Mode m) {
 }
 
 void CsvSink::write_trials(const TrialSpec& spec, const TrialSet& set) {
-  obs::ScopedSpan span("sink-flush");
+  PP_OBS_SPAN("sink-flush");
   set_mode(Mode::kTrials);
   const std::string prefix = spec.label + "," + spec_name(spec) + "," +
                              std::to_string(spec.n) + "," +
@@ -110,7 +110,7 @@ void CsvSink::write_trials(const TrialSpec& spec, const TrialSet& set) {
 }
 
 void CsvSink::write_aggregate(const TrialSpec& spec, const TrialSet& set) {
-  obs::ScopedSpan span("sink-flush");
+  PP_OBS_SPAN("sink-flush");
   set_mode(Mode::kAggregates);
   const AggregateStats& a = set.stats;
   *out_ << spec.label << "," << spec_name(spec) << "," << spec.n << ","
@@ -134,7 +134,7 @@ JsonlSink::JsonlSink(const std::string& path)
 JsonlSink::JsonlSink(std::ostream& out) : out_(&out) {}
 
 void JsonlSink::write_trials(const TrialSpec& spec, const TrialSet& set) {
-  obs::ScopedSpan span("sink-flush");
+  PP_OBS_SPAN("sink-flush");
   const std::string prefix =
       "{\"kind\":\"trial\",\"label\":\"" + json_escape(spec.label) +
       "\",\"protocol\":\"" + json_escape(spec_name(spec)) +
@@ -154,7 +154,7 @@ void JsonlSink::write_trials(const TrialSpec& spec, const TrialSet& set) {
 }
 
 void JsonlSink::write_aggregate(const TrialSpec& spec, const TrialSet& set) {
-  obs::ScopedSpan span("sink-flush");
+  PP_OBS_SPAN("sink-flush");
   const AggregateStats& a = set.stats;
   *out_ << "{\"kind\":\"aggregate\",\"label\":\"" << json_escape(spec.label)
         << "\",\"protocol\":\"" << json_escape(spec_name(spec))

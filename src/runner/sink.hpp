@@ -18,6 +18,7 @@
 #include <memory>
 #include <ostream>
 #include <string>
+#include <string_view>
 
 #include "obs/provenance.hpp"
 #include "runner/runner.hpp"

@@ -26,6 +26,7 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 
 #include "schedulers/scheduler.hpp"
 

@@ -34,6 +34,7 @@
 
 #include <memory>
 #include <string>
+#include <string_view>
 
 #include "schedulers/scheduler.hpp"
 #include "structures/interaction_graph.hpp"

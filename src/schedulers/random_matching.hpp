@@ -15,6 +15,8 @@
 // budgets mean the same thing under every scheduler.
 #pragma once
 
+#include <string_view>
+
 #include "schedulers/scheduler.hpp"
 
 namespace pp {

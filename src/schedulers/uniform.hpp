@@ -7,6 +7,8 @@
 // regression values.
 #pragma once
 
+#include <string_view>
+
 #include "schedulers/scheduler.hpp"
 
 namespace pp {

@@ -41,7 +41,10 @@
 // budget exhaustion or observer abort.  Parallel time is interactions / n.
 #pragma once
 
+#include <memory>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "schedulers/pair_sampler.hpp"
 #include "schedulers/scheduler.hpp"

@@ -228,6 +228,42 @@ TEST(SingleLine, Lemma5OutcomeIsScheduleIndependent) {
   }
 }
 
+// Boundary pin at a 10^5-state space for the beta()/gamma() index
+// arithmetic (the hardened -Wconversion sweep rewrote beta()'s inner-state
+// walk; an off-by-one or narrowed StateId would misread a neighbouring
+// trap's gate, which the distinct per-state counts below would catch —
+// gates carry >= 100 agents, inner state gate(a)+b carries exactly b).
+TEST(SingleLine, BetaGammaIndexArithmeticAtHundredThousandStates) {
+  const u64 traps = 1000, inner = 99;  // num_ranks = traps * (inner+1) = 1e5
+  std::vector<u64> counts(traps * (inner + 1) + 1, 0);
+  u64 total = 0;
+  for (u64 a = 0; a < traps; ++a) {
+    counts[a * (inner + 1)] = 100 + a % 7;  // gate
+    total += 100 + a % 7;
+    for (u64 b = 1; b <= inner; ++b) {
+      counts[a * (inner + 1) + b] = b;
+      total += b;
+    }
+  }
+  SingleLineProtocol p(total, traps, inner);
+  ASSERT_EQ(p.num_ranks(), 100000u);
+  ASSERT_EQ(p.x_state(), 100000u);
+  Configuration c;
+  c.counts = counts;
+  p.reset(c);
+
+  const u64 inner_sum = inner * (inner + 1) / 2;  // sum of 1..99 = 4950
+  const std::vector<u64> beta = p.beta();
+  const std::vector<u64> gamma = p.gamma();
+  ASSERT_EQ(beta.size(), traps);
+  ASSERT_EQ(gamma.size(), traps);
+  for (const u64 a : {u64{0}, u64{1}, traps / 2, traps - 2, traps - 1}) {
+    EXPECT_EQ(beta[a], inner_sum) << "trap " << a;
+    EXPECT_EQ(gamma[a], 100 + a % 7) << "trap " << a;
+  }
+  EXPECT_EQ(p.released(), 0u);
+}
+
 TEST(SingleLine, XIsAbsorbing) {
   SingleLineProtocol p(10, 2, 2);
   Configuration c;

@@ -178,6 +178,52 @@ TEST(DistanceKernel, PartnerSamplingStaysInRangeAndProportional) {
   EXPECT_NEAR(static_cast<double>(hits[4]), unit, 5 * std::sqrt(unit));
 }
 
+// Boundary pin at n = 10^5 for the kernel's index arithmetic (the
+// hardened -Wconversion/-Wsign-conversion sweep owns this code; a signed
+// intermediate or narrowed distance would first go wrong at scale, on the
+// seam and antipodal rows, not at the n <= 6 sizes above).
+TEST(DistanceKernel, IndexArithmeticAtHundredThousand) {
+  const u64 n = 100000;
+  const u64 half = n / 2;
+  std::vector<u64> decay(half);
+  for (u64 d = 1; d <= half; ++d) decay[d - 1] = (d % 7) + 1;
+  DistanceKernel ring(DistanceKernel::Geometry::kRing, n, decay);
+
+  // Seam and antipode: weight(i, j) must reduce the ring distance the
+  // same way on both sides of the wrap.
+  EXPECT_EQ(ring.weight(0, n - 1), decay[0]);       // d = 1 across the seam
+  EXPECT_EQ(ring.weight(0, half), decay[half - 1]); // antipodal
+  EXPECT_EQ(ring.weight(n - 1, 0), decay[0]);
+  EXPECT_EQ(ring.weight(half - 1, n - 1), decay[half - 1]);
+
+  // Row marginal: every d < n/2 contributes two partners, the antipode
+  // one; identical for an interior row and the wrap-around rows.
+  u64 expect_row = decay[half - 1];
+  for (u64 d = 1; d < half; ++d) expect_row += 2 * decay[d - 1];
+  EXPECT_EQ(ring.row_total(0), expect_row);
+  EXPECT_EQ(ring.row_total(n - 1), expect_row);
+  EXPECT_EQ(ring.row_total(half), expect_row);
+  EXPECT_EQ(ring.total(), n * expect_row);
+
+  // Sampled partners from the extreme rows stay in [0, n) and never
+  // return the row itself.
+  Rng rng(7);
+  for (const u64 i : {u64{0}, n - 1, half}) {
+    for (int t = 0; t < 200; ++t) {
+      const u64 j = ring.sample_partner(rng, i);
+      ASSERT_LT(j, n);
+      ASSERT_NE(j, i);
+    }
+  }
+
+  // Line geometry at the same scale: the first/last rows see one arm.
+  DistanceKernel line(DistanceKernel::Geometry::kLine, n,
+                      std::vector<u64>(n - 1, 1));
+  EXPECT_EQ(line.row_total(0), n - 1);
+  EXPECT_EQ(line.row_total(n - 1), n - 1);
+  EXPECT_EQ(line.weight(0, n - 1), 1u);
+}
+
 TEST(DistanceKernelDeathTest, RejectsMalformedProfiles) {
   EXPECT_DEATH(DistanceKernel(DistanceKernel::Geometry::kRing, 8, {1, 2}),
                "profile length");

@@ -1,0 +1,754 @@
+#!/usr/bin/env python3
+"""poprank_lint — the project's determinism & concurrency static-analysis engine.
+
+The repo's core scientific claim is that the same (seed, trials) produces
+bit-identical verdicts across 1/2/8 threads and across machines.  Nothing in
+the compiler enforces that: one `std::rand()` in a scheduler, one range-for
+over an `unordered_map` into a sink row, or one obs hook that survives a
+POPRANK_OBS=OFF build silently breaks it.  This linter makes those invariants
+machine-checked at analysis time, before any trial runs.
+
+Rules (see README "Static analysis & determinism guarantees" for the table):
+
+  R1  banned-nondeterminism   No ambient randomness (std::rand, srand,
+      random_device, mt19937, ...) anywhere in src/ — all randomness flows
+      through Rng / the seed streams.  No wall-clock reads (time(), clock(),
+      std::chrono and its clocks) outside src/obs/, the one layer documented
+      as non-deterministic; justified uses elsewhere carry an allow comment.
+  R2  unordered-iteration     No range-for / .begin() iteration over
+      std::unordered_map / std::unordered_set — hash iteration order is not
+      part of the determinism contract.  Iterate a sorted snapshot, or
+      allow() with a written justification.
+  R3  bare-obs-hook           Every obs:: *hook* call site (bump, record,
+      trace_step, trace_instant, ScopedSpan) outside src/obs/ must go
+      through the PP_OBS_* macro wrappers or sit inside an `#if PP_OBS`
+      region, so the OFF build is provably hook-free by token inspection.
+  R4  header-hygiene          Headers are self-contained: `#pragma once`
+      present, and every std:: symbol used maps to a directly-#included
+      standard header.  Assert-style macros (PP_ASSERT / PP_ASSERT_MSG /
+      PP_DCHECK / assert) must not contain side-effecting expressions —
+      PP_DCHECK compiles out under NDEBUG, so a side effect there makes
+      Debug and Release diverge.
+  R5  float-accumulation      No float/double compound accumulation in the
+      cross-thread-merged layers (src/runner/, src/obs/) outside
+      RunningStat — ad-hoc floating-point folds are where merge-order
+      sensitivity sneaks in.
+
+Suppressions:
+
+  // poprank-lint: allow(R1)            — this line, or the next code line
+  // poprank-lint: allow(R1,R4): why    — multiple rules, optional reason
+  // poprank-lint: allow-file(R1)       — the whole file
+
+Suppression etiquette: always state the reason after the colon; an allow
+without a justification is a review flag, not a free pass.
+
+Stdlib-only on purpose, like bench/check_bench_regression.py and
+bench/check_obs_artifacts.py: it runs on any CI runner with a bare python3.
+
+Usage:
+  poprank_lint.py src [more paths...]          lint a tree (exit 1 on findings)
+  poprank_lint.py --rules R1,R3 src            subset of rules
+  poprank_lint.py --list-rules                 print the rule table
+"""
+
+import argparse
+import os
+import re
+import sys
+
+# --------------------------------------------------------------------------
+# Tokenizer
+# --------------------------------------------------------------------------
+
+# A token is (kind, text, line); kinds: 'id', 'num', 'str', 'chr', 'op'.
+# Comments and preprocessor directives are captured separately — comments
+# feed the suppression scanner, directives feed the include/`#if PP_OBS`
+# trackers — and never appear in the code-token stream.
+
+_ID_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_ID_CONT = _ID_START | set("0123456789")
+
+# Multi-character operators, longest first so e.g. '>>=' wins over '>>'.
+_OPS3 = ("<<=", ">>=", "...", "->*")
+_OPS2 = ("::", "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&",
+         "||", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=")
+
+
+class SourceFile:
+    """One tokenized translation unit plus the side tables the rules use."""
+
+    def __init__(self, path, text):
+        self.path = path
+        # Normalized with forward slashes so path filters are portable.
+        self.norm_path = "/" + os.path.abspath(path).replace(os.sep, "/").lstrip("/")
+        self.text = text
+        self.lines = text.splitlines()
+        self.tokens = []       # code tokens: (kind, text, line)
+        self.comments = []     # (line, text) — text includes // or /* */
+        self.directives = []   # (line, logical_text) — continuations joined
+        self.obs_guarded = set()   # line numbers inside an `#if PP_OBS` branch
+        self._tokenize()
+        self._scan_suppressions()
+
+    # -- raw scan ----------------------------------------------------------
+
+    def _tokenize(self):
+        text = self.text
+        i, n, line = 0, len(text), 1
+        at_line_start = True  # only whitespace seen since the last newline
+        while i < n:
+            c = text[i]
+            if c == "\n":
+                line += 1
+                i += 1
+                at_line_start = True
+                continue
+            if c in " \t\r\f\v":
+                i += 1
+                continue
+            # Comments.
+            if c == "/" and i + 1 < n and text[i + 1] == "/":
+                j = text.find("\n", i)
+                j = n if j < 0 else j
+                self.comments.append((line, text[i:j]))
+                i = j
+                continue
+            if c == "/" and i + 1 < n and text[i + 1] == "*":
+                j = text.find("*/", i + 2)
+                j = n - 2 if j < 0 else j
+                body = text[i : j + 2]
+                self.comments.append((line, body))
+                line += body.count("\n")
+                i = j + 2
+                continue
+            # Preprocessor directive: '#' first on the line; consume the
+            # logical line including backslash continuations.
+            if c == "#" and at_line_start:
+                start_line = line
+                parts = []
+                while True:
+                    j = text.find("\n", i)
+                    j = n if j < 0 else j
+                    seg = text[i:j]
+                    i = j + 1 if j < n else n
+                    line += 1
+                    if seg.rstrip().endswith("\\"):
+                        parts.append(seg.rstrip()[:-1])
+                        if i >= n:
+                            break
+                    else:
+                        parts.append(seg)
+                        break
+                self.directives.append((start_line, " ".join(parts)))
+                at_line_start = True
+                continue
+            at_line_start = False
+            # Raw string literal R"delim( ... )delim".
+            if c == "R" and i + 1 < n and text[i + 1] == '"':
+                m = re.match(r'R"([^()\\ \t\n]{0,16})\(', text[i:])
+                if m:
+                    close = ")" + m.group(1) + '"'
+                    j = text.find(close, i + m.end())
+                    j = n - len(close) if j < 0 else j
+                    body = text[i : j + len(close)]
+                    self.tokens.append(("str", body, line))
+                    line += body.count("\n")
+                    i = j + len(close)
+                    continue
+            # String / char literals.
+            if c == '"' or c == "'":
+                j = i + 1
+                while j < n and text[j] != c:
+                    j += 2 if text[j] == "\\" else 1
+                j = min(j, n - 1)
+                self.tokens.append(
+                    ("str" if c == '"' else "chr", text[i : j + 1], line))
+                i = j + 1
+                continue
+            # Identifiers / keywords.
+            if c in _ID_START:
+                j = i + 1
+                while j < n and text[j] in _ID_CONT:
+                    j += 1
+                self.tokens.append(("id", text[i:j], line))
+                i = j
+                continue
+            # Numbers (coarse: consume alnum, dots, and exponent signs).
+            if c.isdigit():
+                j = i + 1
+                while j < n and (text[j] in _ID_CONT or text[j] == "." or
+                                 (text[j] in "+-" and text[j - 1] in "eEpP")):
+                    j += 1
+                self.tokens.append(("num", text[i:j], line))
+                i = j
+                continue
+            # Operators, longest match first.
+            for op in _OPS3:
+                if text.startswith(op, i):
+                    self.tokens.append(("op", op, line))
+                    i += len(op)
+                    break
+            else:
+                for op in _OPS2:
+                    if text.startswith(op, i):
+                        self.tokens.append(("op", op, line))
+                        i += len(op)
+                        break
+                else:
+                    self.tokens.append(("op", c, line))
+                    i += 1
+        self._track_obs_regions()
+
+    def _track_obs_regions(self):
+        """Marks line numbers whose code sits in an `#if PP_OBS` true-branch.
+
+        The tracker is deliberately literal: only a branch whose condition is
+        exactly `PP_OBS` counts as guarded, and `#else` / `#elif` flip it off
+        (the else-branch of `#if PP_OBS` is the OFF build — obs hooks there
+        are exactly what R3 must flag).
+        """
+        events = []  # (line, kind, cond)
+        for ln, d in self.directives:
+            m = re.match(r"\s*#\s*(if|ifdef|ifndef|elif|else|endif)\b(.*)", d)
+            if m:
+                events.append((ln, m.group(1), m.group(2).strip()))
+        stack = []  # each frame: currently-guarded bool
+        ev = 0
+        for ln in range(1, len(self.lines) + 2):
+            while ev < len(events) and events[ev][0] == ln:
+                _, kind, cond = events[ev]
+                ev += 1
+                if kind in ("if", "ifdef", "ifndef"):
+                    stack.append(kind == "if" and cond == "PP_OBS")
+                elif kind in ("elif", "else"):
+                    if stack:
+                        stack[-1] = False
+                elif kind == "endif":
+                    if stack:
+                        stack.pop()
+            if any(stack):
+                self.obs_guarded.add(ln)
+
+    # -- suppressions ------------------------------------------------------
+
+    _ALLOW_RE = re.compile(
+        r"poprank-lint:\s*(allow|allow-file)\(([A-Za-z0-9_,\s]+)\)")
+
+    def _scan_suppressions(self):
+        self.allow_lines = {}   # line -> set of rule ids allowed there
+        self.allow_file = set()
+        for ln, ctext in self.comments:
+            m = self._ALLOW_RE.search(ctext)
+            if not m:
+                continue
+            rules = {r.strip() for r in m.group(2).split(",") if r.strip()}
+            if m.group(1) == "allow-file":
+                self.allow_file |= rules
+                continue
+            # A whole-line comment blesses the next code line too; an
+            # end-of-line comment blesses its own line.  Blessing both is
+            # harmless and keeps the scanner trivial.
+            for target in (ln, ln + self._comment_height(ctext)):
+                self.allow_lines.setdefault(target, set()).update(rules)
+
+    @staticmethod
+    def _comment_height(ctext):
+        return ctext.count("\n") + 1
+
+    def suppressed(self, rule_id, line):
+        if rule_id in self.allow_file or "all" in self.allow_file:
+            return True
+        allowed = self.allow_lines.get(line, set())
+        return rule_id in allowed or "all" in allowed
+
+    # -- helpers the rules share ------------------------------------------
+
+    def code_ids(self):
+        """(index, name, line) for every identifier token."""
+        for idx, (kind, text, line) in enumerate(self.tokens):
+            if kind == "id":
+                yield idx, text, line
+
+    def prev_op(self, idx, op):
+        """True when the nearest previous token is the operator `op`."""
+        return idx > 0 and self.tokens[idx - 1][:2] == ("op", op)
+
+    def next_is(self, idx, kind, text):
+        return (idx + 1 < len(self.tokens)
+                and self.tokens[idx + 1][0] == kind
+                and self.tokens[idx + 1][1] == text)
+
+    def skip_template_args(self, idx):
+        """Given tokens[idx] == '<', returns the index just past the matching
+        close, treating '>>' as two closers.  Returns idx when unbalanced."""
+        depth = 0
+        j = idx
+        while j < len(self.tokens):
+            kind, text, _ = self.tokens[j]
+            if kind == "op":
+                if text == "<":
+                    depth += 1
+                elif text == ">":
+                    depth -= 1
+                elif text == ">>":
+                    depth -= 2
+                elif text == "<<":
+                    depth += 2
+                elif text in (";", "{", "}"):
+                    return idx  # gave up: not a template argument list
+                if depth <= 0:
+                    return j + 1
+            j += 1
+        return idx
+
+    def balanced_paren_span(self, idx):
+        """Given tokens[idx] == '(', returns index just past the match."""
+        depth = 0
+        j = idx
+        while j < len(self.tokens):
+            kind, text, _ = self.tokens[j]
+            if kind == "op":
+                if text == "(":
+                    depth += 1
+                elif text == ")":
+                    depth -= 1
+                    if depth == 0:
+                        return j + 1
+            j += 1
+        return len(self.tokens)
+
+
+# --------------------------------------------------------------------------
+# Rule framework
+# --------------------------------------------------------------------------
+
+class Finding:
+    __slots__ = ("path", "line", "rule", "message")
+
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+class Rule:
+    """Base class: subclasses set `rule_id`, `name`, `doc` and implement
+    check(src) -> iterable of (line, message)."""
+
+    rule_id = "R?"
+    name = "unnamed"
+    doc = ""
+
+    def applies(self, src):  # path filter; default everywhere
+        return True
+
+    def check(self, src):
+        raise NotImplementedError
+
+
+def _in_dir(src, fragment):
+    return fragment in src.norm_path
+
+
+# -- R1 --------------------------------------------------------------------
+
+class BannedNondeterminism(Rule):
+    rule_id = "R1"
+    name = "banned-nondeterminism"
+    doc = ("ambient randomness is banned everywhere; wall-clock reads are "
+           "banned outside src/obs/ (all randomness flows through Rng / the "
+           "seed streams)")
+
+    RANDOMNESS = {
+        "rand", "srand", "drand48", "lrand48", "random_shuffle",
+        "random_device", "mt19937", "mt19937_64", "default_random_engine",
+        "minstd_rand", "knuth_b",
+    }
+    # Only flagged when called: avoids ids that merely contain the word.
+    CLOCK_CALLS = {"time", "clock", "gettimeofday", "clock_gettime",
+                   "localtime", "gmtime"}
+    CLOCK_IDS = {"chrono", "system_clock", "steady_clock",
+                 "high_resolution_clock"}
+
+    def check(self, src):
+        clock_exempt = _in_dir(src, "/src/obs/")
+        for idx, name, line in src.code_ids():
+            if name in self.RANDOMNESS:
+                yield (line,
+                       f"banned nondeterminism source '{name}' — draw from "
+                       "Rng / seed_stream instead")
+            elif not clock_exempt:
+                if name in self.CLOCK_IDS:
+                    yield (line,
+                           f"wall-clock source '{name}' outside src/obs/ — "
+                           "results must be pure functions of (spec, seed)")
+                elif (name in self.CLOCK_CALLS and src.next_is(idx, "op", "(")
+                      and not src.prev_op(idx, ".")
+                      and not src.prev_op(idx, "->")):
+                    yield (line,
+                           f"wall-clock call '{name}()' outside src/obs/ — "
+                           "results must be pure functions of (spec, seed)")
+
+
+# -- R2 --------------------------------------------------------------------
+
+class UnorderedIteration(Rule):
+    rule_id = "R2"
+    name = "unordered-iteration"
+    doc = ("no range-for / .begin() iteration over std::unordered_map / "
+           "unordered_set — hash order is nondeterministic; iterate a "
+           "sorted snapshot")
+
+    UNORDERED = {"unordered_map", "unordered_set", "unordered_multimap",
+                 "unordered_multiset"}
+
+    def _collect_unordered_names(self, src):
+        """Variables (and using-aliases) declared with an unordered type."""
+        names, alias_types = set(), set()
+        toks = src.tokens
+        i = 0
+        while i < len(toks):
+            kind, text, _ = toks[i]
+            if kind == "id" and (text in self.UNORDERED or text in alias_types):
+                j = i + 1
+                if j < len(toks) and toks[j][:2] == ("op", "<"):
+                    j = src.skip_template_args(j)
+                # Skip ref/pointer/cv decoration between type and name.
+                while j < len(toks) and toks[j][:2] in (
+                        ("op", "&"), ("op", "*"), ("id", "const")):
+                    j += 1
+                if j < len(toks) and toks[j][0] == "id":
+                    # `using Alias = std::unordered_map<...>` registers the
+                    # alias instead (handled below); a plain id here is a
+                    # declared variable / parameter / field.
+                    names.add(toks[j][1])
+            if kind == "id" and text == "using" and i + 2 < len(toks) \
+                    and toks[i + 1][0] == "id" \
+                    and toks[i + 2][:2] == ("op", "="):
+                # Look ahead for an unordered type on the right-hand side.
+                j = i + 3
+                while j < len(toks) and toks[j][:2] != ("op", ";"):
+                    if toks[j][0] == "id" and toks[j][1] in self.UNORDERED:
+                        alias_types.add(toks[i + 1][1])
+                        break
+                    j += 1
+            i += 1
+        return names
+
+    def check(self, src):
+        names = self._collect_unordered_names(src)
+        toks = src.tokens
+        for i, (kind, text, line) in enumerate(toks):
+            # Range-for: `for ( decl : range )` — inspect the range tokens.
+            if kind == "id" and text == "for" and src.next_is(i, "op", "("):
+                end = src.balanced_paren_span(i + 1)
+                colon = None
+                for j in range(i + 2, end - 1):
+                    if toks[j][:2] == ("op", ":"):
+                        colon = j
+                        break
+                if colon is not None:
+                    for j in range(colon + 1, end - 1):
+                        if toks[j][0] == "id" and (toks[j][1] in names
+                                                   or toks[j][1] in self.UNORDERED):
+                            yield (line,
+                                   f"range-for over unordered container "
+                                   f"'{toks[j][1]}' — hash iteration order "
+                                   "is nondeterministic; iterate a sorted "
+                                   "snapshot")
+                            break
+            # Iterator loop: unordered.begin() / cbegin().
+            if kind == "id" and text in ("begin", "cbegin") \
+                    and src.next_is(i, "op", "(") \
+                    and i >= 2 and toks[i - 1][:2] == ("op", ".") \
+                    and toks[i - 2][0] == "id" and toks[i - 2][1] in names:
+                yield (line,
+                       f"iterator over unordered container '{toks[i - 2][1]}'"
+                       " — hash iteration order is nondeterministic; iterate "
+                       "a sorted snapshot")
+
+
+# -- R3 --------------------------------------------------------------------
+
+class BareObsHook(Rule):
+    rule_id = "R3"
+    name = "bare-obs-hook"
+    doc = ("obs:: hook call sites outside src/obs/ must use the PP_OBS_* "
+           "macros or sit inside `#if PP_OBS`, so POPRANK_OBS=OFF builds "
+           "are provably hook-free")
+
+    HOOKS = {"bump", "record", "trace_step", "trace_instant", "ScopedSpan"}
+
+    def applies(self, src):
+        return _in_dir(src, "/src/") and not _in_dir(src, "/src/obs/")
+
+    def check(self, src):
+        toks = src.tokens
+        for i, (kind, text, line) in enumerate(toks):
+            if kind == "id" and text in self.HOOKS \
+                    and src.prev_op(i, "::") \
+                    and i >= 2 and toks[i - 2][:2] == ("id", "obs") \
+                    and line not in src.obs_guarded:
+                yield (line,
+                       f"bare obs::{text} hook outside the PP_OBS macro "
+                       "layer — use PP_OBS_INC/ADD/SKETCH/SPAN/TRACE_STEP "
+                       "or guard with `#if PP_OBS`")
+
+
+# -- R4 --------------------------------------------------------------------
+
+class HeaderHygiene(Rule):
+    rule_id = "R4"
+    name = "header-hygiene"
+    doc = ("headers are self-contained (#pragma once + direct includes for "
+           "every std:: symbol used); assert-style macros must not contain "
+           "side-effecting expressions")
+
+    # std:: symbol -> the standard header that declares it.  Conservative on
+    # purpose: only symbols with one unambiguous home are listed.
+    STD_HEADER = {
+        "vector": "vector", "string": "string", "string_view": "string_view",
+        "array": "array", "span": "span", "deque": "deque",
+        "mutex": "mutex", "lock_guard": "mutex", "unique_lock": "mutex",
+        "scoped_lock": "mutex", "atomic": "atomic", "thread": "thread",
+        "condition_variable": "condition_variable",
+        "function": "functional", "optional": "optional",
+        "variant": "variant", "map": "map", "set": "set",
+        "unordered_map": "unordered_map", "unordered_set": "unordered_set",
+        "unique_ptr": "memory", "shared_ptr": "memory",
+        "make_unique": "memory", "make_shared": "memory",
+        "pair": "utility", "move": "utility", "forward": "utility",
+        "exchange": "utility", "swap": "utility",
+        "min": "algorithm", "max": "algorithm", "sort": "algorithm",
+        "fill": "algorithm", "copy": "algorithm", "lower_bound": "algorithm",
+        "upper_bound": "algorithm", "accumulate": "numeric",
+        "iota": "numeric", "numeric_limits": "limits",
+        "uint8_t": "cstdint", "uint16_t": "cstdint", "uint32_t": "cstdint",
+        "uint64_t": "cstdint", "int8_t": "cstdint", "int16_t": "cstdint",
+        "int32_t": "cstdint", "int64_t": "cstdint",
+        "printf": "cstdio", "fprintf": "cstdio", "snprintf": "cstdio",
+        "abort": "cstdlib", "exit": "cstdlib", "getenv": "cstdlib",
+        "sqrt": "cmath", "log": "cmath", "log2": "cmath", "exp": "cmath",
+        "pow": "cmath", "floor": "cmath", "ceil": "cmath", "fabs": "cmath",
+        "bit_width": "bit", "popcount": "bit", "countr_zero": "bit",
+        "to_string": "string", "ostream": "ostream", "istream": "istream",
+        "ofstream": "fstream", "ifstream": "fstream", "fstream": "fstream",
+        "runtime_error": "stdexcept", "logic_error": "stdexcept",
+    }
+    # Headers that also satisfy a symbol (e.g. <iosfwd> declares the stream
+    # types well enough for references and members-by-pointer).
+    ALT_SATISFIES = {
+        "ostream": {"iosfwd", "ostream", "iostream", "sstream", "fstream"},
+        "istream": {"iosfwd", "istream", "iostream", "sstream", "fstream"},
+        "string": {"string"},
+    }
+
+    ASSERT_MACROS = {"PP_ASSERT", "PP_ASSERT_MSG", "PP_DCHECK", "assert"}
+    MUTATORS = {"push_back", "pop_back", "emplace_back", "emplace", "insert",
+                "erase", "clear", "reset", "push", "pop"}
+    SIDE_EFFECT_OPS = {"++", "--", "=", "+=", "-=", "*=", "/=", "%=", "&=",
+                       "|=", "^=", "<<=", ">>="}
+
+    _INCLUDE_RE = re.compile(r'\s*#\s*include\s*[<"]([^>"]+)[>"]')
+
+    def check(self, src):
+        is_header = src.path.endswith((".hpp", ".h", ".hh"))
+        if is_header:
+            yield from self._check_header(src)
+        yield from self._check_asserts(src)
+
+    def _check_header(self, src):
+        if not any(re.match(r"\s*#\s*pragma\s+once\b", d)
+                   for _, d in src.directives):
+            yield (1, "header lacks `#pragma once`")
+        includes = set()
+        for _, d in src.directives:
+            m = self._INCLUDE_RE.match(d)
+            if m:
+                includes.add(m.group(1))
+        reported = set()
+        toks = src.tokens
+        for i, (kind, text, line) in enumerate(toks):
+            if kind != "id" or text not in self.STD_HEADER:
+                continue
+            if not (src.prev_op(i, "::") and i >= 2
+                    and toks[i - 2][:2] == ("id", "std")):
+                continue
+            need = self.STD_HEADER[text]
+            satisfies = self.ALT_SATISFIES.get(need, {need})
+            if includes & satisfies or need in reported:
+                continue
+            reported.add(need)
+            yield (line,
+                   f"header uses std::{text} but does not include <{need}> "
+                   "directly (headers must be self-contained)")
+
+    def _check_asserts(self, src):
+        toks = src.tokens
+        for i, (kind, text, line) in enumerate(toks):
+            if kind != "id" or text not in self.ASSERT_MACROS:
+                continue
+            if not src.next_is(i, "op", "("):
+                continue
+            end = src.balanced_paren_span(i + 1)
+            for j in range(i + 2, end - 1):
+                tkind, ttext, tline = toks[j]
+                offending = None
+                if tkind == "op" and ttext in self.SIDE_EFFECT_OPS:
+                    offending = f"'{ttext}'"
+                elif tkind == "id" and ttext in self.MUTATORS \
+                        and src.next_is(j, "op", "(") \
+                        and (src.prev_op(j, ".") or src.prev_op(j, "->")):
+                    offending = f"mutating call '.{ttext}()'"
+                if offending:
+                    yield (tline,
+                           f"side-effecting expression {offending} inside "
+                           f"{text}(...) — invariant checks must be pure "
+                           "(PP_DCHECK compiles out under NDEBUG)")
+                    break
+
+
+# -- R5 --------------------------------------------------------------------
+
+class FloatAccumulation(Rule):
+    rule_id = "R5"
+    name = "float-accumulation"
+    doc = ("no float/double compound accumulation in the cross-thread-merged "
+           "layers (src/runner/, src/obs/) outside RunningStat — ad-hoc "
+           "floating-point folds are merge-order-sensitive")
+
+    ACCUM_OPS = {"+=", "-=", "*=", "/="}
+
+    def applies(self, src):
+        return _in_dir(src, "/src/runner/") or _in_dir(src, "/src/obs/")
+
+    def _collect_float_names(self, src):
+        names = set()
+        toks = src.tokens
+        for i, (kind, text, _) in enumerate(toks):
+            if kind == "id" and text in ("float", "double"):
+                j = i + 1
+                while j < len(toks) and toks[j][:2] in (
+                        ("op", "&"), ("op", "*"), ("id", "const")):
+                    j += 1
+                # `double name` that is not a function declaration
+                # (`double name(` is a return type, unless it ends `= x(...)`
+                # — close enough for a lint).
+                if j < len(toks) and toks[j][0] == "id" \
+                        and not src.next_is(j, "op", "("):
+                    names.add(toks[j][1])
+        return names
+
+    def check(self, src):
+        names = self._collect_float_names(src)
+        toks = src.tokens
+        for i, (kind, text, line) in enumerate(toks):
+            if kind == "op" and text in self.ACCUM_OPS and i >= 1 \
+                    and toks[i - 1][0] == "id" and toks[i - 1][1] in names:
+                yield (line,
+                       f"float/double accumulation '{toks[i - 1][1]} {text}' "
+                       "in a cross-thread-merged layer — fold through "
+                       "RunningStat (analysis/stats.hpp) instead")
+
+
+ALL_RULES = [BannedNondeterminism(), UnorderedIteration(), BareObsHook(),
+             HeaderHygiene(), FloatAccumulation()]
+
+
+# --------------------------------------------------------------------------
+# Engine
+# --------------------------------------------------------------------------
+
+CXX_EXTENSIONS = (".cpp", ".cc", ".cxx", ".hpp", ".h", ".hh")
+
+
+def collect_files(paths):
+    out = []
+    for p in paths:
+        if os.path.isfile(p):
+            out.append(p)
+        elif os.path.isdir(p):
+            for root, dirs, files in os.walk(p):
+                dirs.sort()
+                for f in sorted(files):
+                    if f.endswith(CXX_EXTENSIONS):
+                        out.append(os.path.join(root, f))
+        else:
+            raise FileNotFoundError(p)
+    return out
+
+
+def lint_file(path, rules):
+    try:
+        with open(path, "r", encoding="utf-8", errors="replace") as f:
+            src = SourceFile(path, f.read())
+    except OSError as e:
+        return [Finding(path, 0, "IO", str(e))]
+    findings, seen = [], set()
+    for rule in rules:
+        if not rule.applies(src):
+            continue
+        for line, message in rule.check(src):
+            key = (line, rule.rule_id, message)
+            if key in seen or src.suppressed(rule.rule_id, line):
+                continue
+            seen.add(key)
+            findings.append(Finding(path, line, rule.rule_id, message))
+    findings.sort(key=lambda f: (f.line, f.rule))
+    return findings
+
+
+def lint_paths(paths, rules=None):
+    rules = ALL_RULES if rules is None else rules
+    findings = []
+    for path in collect_files(paths):
+        findings.extend(lint_file(path, rules))
+    return findings
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(
+        description="poprank determinism & concurrency lint")
+    ap.add_argument("paths", nargs="*", help="files or directories to lint")
+    ap.add_argument("--rules", default="",
+                    help="comma-separated subset, e.g. R1,R3 (default: all)")
+    ap.add_argument("--list-rules", action="store_true")
+    ap.add_argument("-q", "--quiet", action="store_true",
+                    help="suppress the summary line")
+    args = ap.parse_args(argv)
+
+    if args.list_rules:
+        for r in ALL_RULES:
+            print(f"{r.rule_id}  {r.name}\n    {r.doc}")
+        return 0
+    if not args.paths:
+        ap.error("no paths given (try: poprank_lint.py src)")
+
+    rules = ALL_RULES
+    if args.rules:
+        wanted = {r.strip() for r in args.rules.split(",") if r.strip()}
+        unknown = wanted - {r.rule_id for r in ALL_RULES}
+        if unknown:
+            ap.error(f"unknown rules: {', '.join(sorted(unknown))}")
+        rules = [r for r in ALL_RULES if r.rule_id in wanted]
+
+    try:
+        findings = lint_paths(args.paths, rules)
+    except FileNotFoundError as e:
+        ap.error(f"no such path: {e}")
+    for f in findings:
+        print(f)
+    if not args.quiet:
+        n_files = len(collect_files(args.paths))
+        status = "clean" if not findings else f"{len(findings)} finding(s)"
+        print(f"poprank_lint: {n_files} file(s), {status}", file=sys.stderr)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

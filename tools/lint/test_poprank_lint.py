@@ -1,0 +1,208 @@
+#!/usr/bin/env python3
+"""Self-test for poprank_lint — runs as `ctest -L lint` (pytest-free, plain
+asserts, stdlib-only like the engine itself).
+
+Three layers:
+  1. Bad corpus: every fixture under tests/fixtures/bad/ must produce
+     exactly its EXPECTED (rule, line) set — a rule regression (missed
+     finding OR spurious extra) fails tier-1 like any other test.
+  2. Good corpus: every fixture under tests/fixtures/good/ must be clean.
+  3. Suppression round-trip: stripping the allow comments from the
+     suppressed fixture must resurface the silenced findings at the same
+     lines; plus targeted tokenizer checks (suppressions inside string
+     literals don't count, `#else` of `#if PP_OBS` is the OFF build).
+"""
+
+import os
+import re
+import shutil
+import sys
+import tempfile
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import poprank_lint  # noqa: E402
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+FIXTURES = os.path.join(HERE, "tests", "fixtures")
+
+# fixture path (relative to fixtures/) -> exact expected [(rule, line), ...]
+# (a list, not a set: line 26 of the R1 fixture legitimately carries two
+# distinct findings — chrono and steady_clock).
+EXPECTED = {
+    "bad/src/core/bad_r1_rand.cpp": [
+        ("R1", 9), ("R1", 10), ("R1", 15), ("R1", 16),
+        ("R1", 21), ("R1", 22),
+        ("R1", 26), ("R1", 26),  # chrono + steady_clock, distinct messages
+    ],
+    "bad/src/runner/bad_r2_unordered_iter.cpp": [
+        ("R2", 13), ("R2", 16), ("R2", 19),
+    ],
+    "bad/src/schedulers/bad_r3_bare_obs.cpp": [
+        ("R3", 8), ("R3", 9), ("R3", 10), ("R3", 14), ("R3", 18),
+    ],
+    "bad/src/core/bad_r4_header.hpp": [
+        ("R4", 1), ("R4", 11), ("R4", 12),
+    ],
+    "bad/src/core/bad_r4_assert.cpp": [
+        ("R4", 9), ("R4", 11), ("R4", 12),
+    ],
+    "bad/src/runner/bad_r5_float_accum.cpp": [
+        ("R5", 11), ("R5", 12),
+    ],
+}
+
+_failures = []
+
+
+def check(ok, label, detail=""):
+    tag = "ok" if ok else "FAIL"
+    print(f"[{tag}] {label}" + (f" — {detail}" if detail and not ok else ""))
+    if not ok:
+        _failures.append(label)
+
+
+def findings_for(path):
+    return poprank_lint.lint_paths([path])
+
+
+def as_pairs(findings):
+    return sorted((f.rule, f.line) for f in findings)
+
+
+def test_bad_corpus():
+    for rel, expected in sorted(EXPECTED.items()):
+        path = os.path.join(FIXTURES, rel)
+        got = as_pairs(findings_for(path))
+        want = sorted(expected)
+        check(got == want, f"bad corpus: {rel}",
+              f"expected {want}, got {got}")
+
+
+def test_bad_corpus_is_exhaustive():
+    on_disk = set()
+    for root, _, files in os.walk(os.path.join(FIXTURES, "bad")):
+        for f in files:
+            rel = os.path.relpath(os.path.join(root, f), FIXTURES)
+            on_disk.add(rel.replace(os.sep, "/"))
+    check(on_disk == set(EXPECTED),
+          "bad corpus: every fixture file has an EXPECTED entry",
+          f"unlisted={sorted(on_disk - set(EXPECTED))} "
+          f"missing={sorted(set(EXPECTED) - on_disk)}")
+    rules_covered = {rule for exp in EXPECTED.values() for rule, _ in exp}
+    all_rules = {r.rule_id for r in poprank_lint.ALL_RULES}
+    check(rules_covered == all_rules,
+          "bad corpus: every rule R1-R5 has a failing fixture",
+          f"covered={sorted(rules_covered)} all={sorted(all_rules)}")
+
+
+def test_good_corpus():
+    findings = findings_for(os.path.join(FIXTURES, "good"))
+    check(not findings, "good corpus: zero findings",
+          "; ".join(str(f) for f in findings))
+
+
+def test_suppression_round_trip():
+    src = os.path.join(FIXTURES, "good", "src", "runner",
+                       "good_suppressed.cpp")
+    clean = findings_for(src)
+    check(not clean, "suppressed fixture: clean with allow comments",
+          "; ".join(str(f) for f in clean))
+    with open(src, encoding="utf-8") as f:
+        text = f.read()
+    stripped = re.sub(r"poprank-lint:\s*allow[^)]*\)", "(allow stripped)",
+                      text)
+    assert stripped != text, "fixture lost its suppression comments"
+    tmpdir = tempfile.mkdtemp(prefix="poprank_lint_")
+    try:
+        # Reproduce the src/runner/ shape so path-scoped rules still apply.
+        stripped_path = os.path.join(tmpdir, "src", "runner", "stripped.cpp")
+        os.makedirs(os.path.dirname(stripped_path))
+        with open(stripped_path, "w", encoding="utf-8") as f:
+            f.write(stripped)
+        got = as_pairs(findings_for(stripped_path))
+        check(got == [("R1", 16), ("R5", 11)],
+              "suppression round-trip: findings reappear once stripped",
+              f"got {got}")
+    finally:
+        shutil.rmtree(tmpdir)
+
+
+def _lint_snippet(tmpdir, relpath, text):
+    path = os.path.join(tmpdir, *relpath.split("/"))
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(text)
+    return as_pairs(findings_for(path))
+
+
+def test_tokenizer_edges():
+    tmpdir = tempfile.mkdtemp(prefix="poprank_lint_")
+    try:
+        # A suppression spelled inside a string literal is not a comment and
+        # must not suppress.
+        got = _lint_snippet(tmpdir, "src/core/in_string.cpp",
+                            'const char* s = "poprank-lint: allow(R1)";\n'
+                            "long t = time(nullptr);\n")
+        check(got == [("R1", 2)],
+              "tokenizer: allow() inside a string literal does not suppress",
+              f"got {got}")
+        # Banned identifiers inside comments and strings are not code.
+        got = _lint_snippet(tmpdir, "src/core/in_comment.cpp",
+                            "// std::rand() in a comment is fine\n"
+                            'const char* s = "std::rand()";\n')
+        check(got == [], "tokenizer: comments/strings are not code tokens",
+              f"got {got}")
+        # allow-file silences the whole file.
+        got = _lint_snippet(tmpdir, "src/core/allow_file.cpp",
+                            "// poprank-lint: allow-file(R1): fixture\n"
+                            "long a = time(nullptr);\n"
+                            "long b = clock();\n")
+        check(got == [], "suppression: allow-file covers every line",
+              f"got {got}")
+        # The #else branch of `#if PP_OBS` is the OFF build: flagged.
+        got = _lint_snippet(tmpdir, "src/core/obs_else.cpp",
+                            "#if PP_OBS\n"
+                            "void a() { obs::bump(x); }\n"
+                            "#else\n"
+                            "void a() { obs::bump(x); }\n"
+                            "#endif\n")
+        check(got == [("R3", 4)],
+              "regions: #else of `#if PP_OBS` is the OFF build",
+              f"got {got}")
+        # Raw strings swallow would-be tokens.
+        got = _lint_snippet(tmpdir, "src/core/raw_string.cpp",
+                            'const char* j = R"json({"x": "time(now)"})json";\n'
+                            "long t = time(nullptr);\n")
+        check(got == [("R1", 2)],
+              "tokenizer: raw strings are single tokens",
+              f"got {got}")
+        # R5 path scoping: the same accumulation outside runner/obs is not
+        # this rule's business.
+        body = ("struct S { double acc = 0; "
+                "void fold(double x) { acc += x; } };\n")
+        in_runner = _lint_snippet(tmpdir, "src/runner/acc.cpp", body)
+        in_analysis = _lint_snippet(tmpdir, "src/analysis/acc.cpp", body)
+        check(in_runner == [("R5", 1)] and in_analysis == [],
+              "R5: scoped to the cross-thread-merged layers",
+              f"runner={in_runner} analysis={in_analysis}")
+    finally:
+        shutil.rmtree(tmpdir)
+
+
+def main():
+    test_bad_corpus()
+    test_bad_corpus_is_exhaustive()
+    test_good_corpus()
+    test_suppression_round_trip()
+    test_tokenizer_edges()
+    if _failures:
+        print(f"\ntest_poprank_lint: {len(_failures)} FAILURE(S)")
+        for f in _failures:
+            print(f"  - {f}")
+        return 1
+    print("\ntest_poprank_lint: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

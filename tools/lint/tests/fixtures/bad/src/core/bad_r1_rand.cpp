@@ -1,0 +1,30 @@
+// R1 fixture: every banned nondeterminism source the rule must catch.
+// Expected findings (rule, line) are asserted by test_poprank_lint.py —
+// keep the line numbers below in sync with EXPECTED there.
+#include <cstdlib>
+
+namespace pp {
+
+unsigned bad_seed() {
+  unsigned s = static_cast<unsigned>(std::rand());  // line 9: std::rand
+  std::srand(s);                                    // line 10: srand
+  return s;
+}
+
+unsigned bad_entropy() {
+  std::random_device rd;  // line 15: random_device
+  std::mt19937 gen(rd()); // line 16: mt19937
+  return gen();
+}
+
+long bad_clock() {
+  long t = time(nullptr);  // line 21: time()
+  return t + clock();      // line 22: clock()
+}
+
+double bad_chrono() {
+  auto now = std::chrono::steady_clock::now();  // line 26: chrono+steady_clock
+  return static_cast<double>(now.time_since_epoch().count());
+}
+
+}  // namespace pp

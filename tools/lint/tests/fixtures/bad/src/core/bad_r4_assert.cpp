@@ -1,0 +1,15 @@
+// R4 fixture: side-effecting expressions inside assert-style macros.
+// PP_DCHECK compiles out under NDEBUG, so each of these makes Debug and
+// Release builds diverge.
+#include <vector>
+
+namespace pp {
+
+void check_and_mutate(std::vector<unsigned>& v, unsigned& cursor) {
+  PP_DCHECK(++cursor < v.size());      // line 9: '++' inside PP_DCHECK
+  PP_ASSERT(v.back() == 0);            // clean: no finding
+  PP_ASSERT_MSG(cursor = 0, "reset");  // line 11: assignment inside assert
+  assert(v.push_back(1), true);        // line 12: mutating call
+}
+
+}  // namespace pp

@@ -1,0 +1,15 @@
+// R4 fixture: a header that is not self-contained — no `#pragma once`
+// (finding pinned to line 1) and two std:: symbols used without their
+// direct includes (<vector> arrives only transitively in real offenders;
+// here it is simply absent).
+#include <string>
+
+namespace pp {
+
+struct FixtureRow {
+  std::string label;
+  std::vector<double> samples;           // line 11: std::vector, no <vector>
+  std::unique_ptr<FixtureRow> next;      // line 12: std::unique_ptr, no <memory>
+};
+
+}  // namespace pp

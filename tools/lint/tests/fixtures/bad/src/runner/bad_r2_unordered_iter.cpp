@@ -1,0 +1,24 @@
+// R2 fixture: hash-ordered iteration in a file that writes result rows.
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace pp {
+
+using Index = std::unordered_map<unsigned long, unsigned>;
+
+void write_rows(const std::unordered_map<std::string, double>& by_label,
+                const std::unordered_set<unsigned>& seen, const Index& idx) {
+  for (const auto& [label, value] : by_label) {  // line 13: range-for
+    std::printf("%s,%f\n", label.c_str(), value);
+  }
+  for (auto it = seen.begin(); it != seen.end(); ++it) {  // line 16: .begin()
+    std::printf("%u\n", *it);
+  }
+  for (const auto& [key, entry] : idx) {  // line 19: range-for via alias
+    std::printf("%lu,%u\n", key, entry);
+  }
+}
+
+}  // namespace pp

@@ -1,0 +1,17 @@
+// R5 fixture: ad-hoc float/double accumulation in the cross-thread-merged
+// layer (this fixture lives under src/runner/, where the rule applies).
+namespace pp {
+
+struct BadAggregate {
+  double total_time = 0;
+  float total_weight = 0;
+  unsigned long count = 0;  // integer accumulation is fine
+
+  void fold(double t, float w) {
+    total_time += t;    // line 11: double accumulation
+    total_weight += w;  // line 12: float accumulation
+    ++count;            // clean: no finding
+  }
+};
+
+}  // namespace pp

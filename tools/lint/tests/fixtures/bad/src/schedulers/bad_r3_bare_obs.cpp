@@ -1,0 +1,22 @@
+// R3 fixture: bare obs:: hook call sites that would survive a
+// POPRANK_OBS=OFF build's token inspection.  The `#if PP_OBS` block and the
+// OFF `#else` branch pin the region tracker's polarity: the true-branch is
+// exempt, the else-branch (which IS the OFF build) is not.
+namespace pp {
+
+void hot_loop(unsigned long interactions) {
+  obs::bump(obs::Counter::kProductiveSteps);  // line 8: bare bump
+  obs::record(obs::Sketch::kNullSkipGap, 3);  // line 9: bare record
+  obs::trace_step(interactions);              // line 10: bare trace_step
+}
+
+void spans() {
+  obs::ScopedSpan span("fixture-span");  // line 14: bare ScopedSpan
+#if PP_OBS
+  obs::trace_instant("guarded");  // inside #if PP_OBS: NOT a finding
+#else
+  obs::trace_instant("off-branch");  // line 18: the OFF build would keep this
+#endif
+}
+
+}  // namespace pp

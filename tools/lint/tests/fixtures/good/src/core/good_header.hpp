@@ -1,0 +1,23 @@
+// Good fixture: a self-contained header — #pragma once and a direct
+// include for every std:: symbol used.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace pp {
+
+struct FixtureRow {
+  std::string label;
+  std::vector<double> samples;
+  std::unique_ptr<FixtureRow> next;
+};
+
+inline void check_row(const FixtureRow& row, unsigned long expected) {
+  // Pure invariant expressions are fine inside assert macros.
+  PP_ASSERT(row.samples.size() == expected);
+  PP_DCHECK(!row.label.empty());
+}
+
+}  // namespace pp

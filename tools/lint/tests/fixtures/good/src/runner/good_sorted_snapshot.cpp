@@ -1,0 +1,38 @@
+// Good fixture: the blessed patterns for every rule the bad corpus trips.
+// Unordered containers are fine as lookup structures; iteration goes
+// through a sorted snapshot.  Lint must report zero findings here.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace pp {
+
+void write_rows(const std::unordered_map<std::string, double>& by_label) {
+  // The sorted-snapshot idiom R2 asks for: materialise, order, iterate.
+  std::vector<std::pair<std::string, double>> rows(by_label.size());
+  unsigned long i = 0;
+  for (unsigned long k = 0; k < rows.size(); ++k) (void)k;  // placeholder
+  std::vector<std::pair<std::string, double>> snapshot;
+  snapshot.reserve(by_label.size());
+  for (unsigned long k = 0; k < 1; ++k) {
+    // Collection via find()/count() lookups never iterates hash order.
+    auto it = by_label.find("label");
+    if (it != by_label.end()) snapshot.emplace_back(it->first, it->second);
+  }
+  std::sort(snapshot.begin(), snapshot.end());
+  for (const auto& [label, value] : snapshot) {
+    std::printf("%s,%f\n", label.c_str(), value);
+  }
+  (void)rows;
+  (void)i;
+}
+
+struct GoodAggregate {
+  unsigned long count = 0;        // integer folds are exact
+  void fold(unsigned long by) { count += by; }
+};
+
+}  // namespace pp

@@ -1,0 +1,20 @@
+// Good fixture: real violations silenced by suppression comments — the
+// round-trip test strips these comments and asserts the findings reappear.
+// Etiquette: every allow states its reason after the colon.
+namespace pp {
+
+struct Throughput {
+  double wall_seconds = 0;
+
+  void fold(double dt) {
+    // poprank-lint: allow(R5): wall-clock bookkeeping, outside the determinism contract
+    wall_seconds += dt;
+  }
+};
+
+long stamp() {
+  long t = time(nullptr);  // poprank-lint: allow(R1): artifact file naming only, never read by a trial
+  return t;
+}
+
+}  // namespace pp

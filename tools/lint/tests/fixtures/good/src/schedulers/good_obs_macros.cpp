@@ -1,0 +1,24 @@
+// Good fixture: obs instrumentation through the macro layer and the
+// `#if PP_OBS` escape hatch — the two shapes R3 blesses.
+namespace pp {
+
+void hot_loop(unsigned long interactions, unsigned long skip) {
+  PP_OBS_ADD(kNullSkips, skip);
+  PP_OBS_SKETCH(kNullSkipGap, skip);
+  PP_OBS_INC(kProductiveSteps);
+  PP_OBS_TRACE_STEP(interactions);
+}
+
+void measured_region() {
+  PP_OBS_SPAN("fixture-span");
+#if PP_OBS
+  // Inside the ON branch bare calls are fine: the OFF build never sees
+  // these tokens.
+  obs::bump(obs::Counter::kProductiveSteps);
+  if (obs::active()) {
+    obs::record(obs::Sketch::kGroupSize, 7);
+  }
+#endif
+}
+
+}  // namespace pp
