@@ -62,6 +62,11 @@ Context init(int argc, char** argv, const std::string& experiment_id,
   BenchLog::RunInfo info;
   info.seed = ctx.seed;
   info.threads = ctx.pool->size();
+  // The *effective* cap (size_cap folds in the quick-mode default), so
+  // the regression gate can excuse baseline points above it; "uncapped"
+  // is encoded as 0 rather than ~0 to keep the JSON readable.
+  const u64 cap = ctx.size_cap();
+  info.max_n = cap == ~static_cast<u64>(0) ? 0 : cap;
   info.size = ctx.quick() ? "quick" : (ctx.full() ? "full" : "standard");
   ctx.bench_log = BenchLog::open(ctx.csv_dir, experiment_id, info);
   std::printf("=======================================================\n");

@@ -18,9 +18,14 @@ matched measurement point regressed:
 
 Points are matched by (point label, n, param, trials); trials is part of
 the key because the deterministic mean is a function of the trial count.
-Points present on only one side are reported but never fail the gate —
-CI legitimately runs different subsets per build type (--max-n), and new
-benches should not need a baseline to land.
+New points (present only in the current run) are reported but never fail
+the gate — new benches should not need a baseline to land.  A baseline
+point MISSING from the current run fails the gate ("missing point"),
+because a silently vanished measurement is exactly the kind of coverage
+loss the gate exists to catch.  The one legitimate reason for a missing
+point is a size cap: the current run's header records its effective
+--max-n, and baseline points above that cap are excused as notes — CI
+runs different subsets per build type (Debug smoke steps cap n hard).
 
 Stdlib-only on purpose, like the figure script: the gate runs on any CI
 runner straight after the bench step.
@@ -38,8 +43,10 @@ Usage:
                        (normalised: stable fields only, sorted), then exit
 
 Refreshing baselines after an intentional perf/semantics change (the
-invocations must match CI's — trials is part of the match key):
-  cd build && ./bench_scheduler_comparison --quick --trials=3 --max-n=100000
+invocations must match CI's Release leg — trials is part of the match
+key, and a baseline generated under a smaller cap would instantly trip
+the missing-point check there):
+  cd build && ./bench_scheduler_comparison --quick --trials=3 --max-n=10000000
   ./bench_hostile_sweep --quick --trials=2 --max-n=10000
   ./bench_whp_concentration --quick --trials=3
   python3 ../bench/check_bench_regression.py --bench-dir . --update-baseline
@@ -59,9 +66,15 @@ REFERENCE_FIELDS = ("trials_per_sec",)
 
 
 def load_records(path):
-    """(experiment id, {match key: point record})."""
+    """(experiment id, {match key: point record}, effective max_n).
+
+    max_n is the run header's population cap (0 = uncapped); records
+    written before the field existed load as 0, which keeps the
+    missing-point check strict for them.
+    """
     experiment = None
     points = {}
+    max_n = 0
     with open(path, "r", encoding="utf-8") as f:
         for line in f:
             line = line.strip()
@@ -70,10 +83,11 @@ def load_records(path):
             rec = json.loads(line)
             if rec.get("kind") == "run":
                 experiment = rec.get("experiment")
+                max_n = rec.get("max_n", 0)
             elif rec.get("kind") in ("point", "baseline-point"):
                 key = (rec["point"], rec["n"], rec["param"], rec["trials"])
                 points[key] = rec
-    return experiment, points
+    return experiment, points, max_n
 
 
 def write_baseline(path, experiment, points):
@@ -93,8 +107,15 @@ def fmt_key(key):
     return f"{point} (n={n}, param={param:g}, trials={trials})"
 
 
-def compare(name, base_points, cur_points, factor, throughput_factor):
-    """Returns (failures, notes) for one experiment's record pair."""
+def compare(name, base_points, cur_points, factor, throughput_factor,
+            cur_max_n=0):
+    """Returns (failures, notes) for one experiment's record pair.
+
+    cur_max_n is the current run's effective population cap (0 =
+    uncapped): baseline points with n above it were legitimately skipped
+    by --max-n and only produce notes; any other baseline-only point is
+    a "missing point" failure.
+    """
     failures = []
     notes = []
     matched = 0
@@ -130,9 +151,25 @@ def compare(name, base_points, cur_points, factor, throughput_factor):
                     f"  {fmt_key(key)}: throughput {ctp:g} trials/s vs "
                     f"baseline {btp:g} (> {throughput_factor:g}x slower)"
                 )
-    missing = len(base_points.keys() - cur_points.keys())
+    # A baseline point absent from the current run is a coverage loss,
+    # not a diff curiosity: a renamed label, a dropped sweep size or a
+    # bench that stopped emitting a section would otherwise shrink the
+    # gate's reach silently.  Only a point sitting above the current
+    # run's population cap is excused (that subset was never attempted).
+    missing = 0
+    for key in sorted(base_points.keys() - cur_points.keys()):
+        missing += 1
+        if cur_max_n > 0 and key[1] > cur_max_n:
+            notes.append(f"  baseline point above current --max-n="
+                         f"{cur_max_n} (skipped): {fmt_key(key)}")
+        else:
+            failures.append(
+                f"  missing point: {fmt_key(key)} is in the baseline but "
+                f"absent from the current run — if the removal is "
+                f"intentional, refresh with --update-baseline"
+            )
     print(f"{name}: {matched} matched, {len(cur_points) - matched} new, "
-          f"{missing} baseline-only, {len(failures)} regression(s)")
+          f"{missing} baseline-only, {len(failures)} failure(s)")
     return failures, notes
 
 
@@ -160,7 +197,7 @@ def main():
     if args.update_baseline:
         os.makedirs(args.baseline_dir, exist_ok=True)
         for path in current:
-            experiment, points = load_records(path)
+            experiment, points, _ = load_records(path)
             out = os.path.join(args.baseline_dir, os.path.basename(path))
             write_baseline(out, experiment, points)
             print(f"baseline updated: {out} ({len(points)} points)")
@@ -175,10 +212,11 @@ def main():
             print(f"{name}: no committed baseline — skipped "
                   f"(add one with --update-baseline)")
             continue
-        _, base_points = load_records(base_path)
-        _, cur_points = load_records(path)
+        _, base_points, _ = load_records(base_path)
+        _, cur_points, cur_max_n = load_records(path)
         failures, notes = compare(name, base_points, cur_points,
-                                  args.factor, args.throughput_factor)
+                                  args.factor, args.throughput_factor,
+                                  cur_max_n)
         for note in notes:
             print(note)
         all_failures.extend(f"{name}:\n{f}" for f in failures)

@@ -33,15 +33,17 @@ BENCH_FILE = "BENCH_s1-protocols-under-alternative-schedulers.json"
 # contain hyphens (tree-ranking, accelerated-uniform); the scheduler half
 # always starts with a registered kind name, so anchor the split there.
 SCHED_ALT = (
-    r"accelerated-uniform$|uniform$|random-matching$|"
+    r"accelerated-uniform$|uniform$|random-matching$|count$|hybrid$|"
     r"(?:weighted|dynamic|graph-restricted|churn|partition|adversarial)\[.*"
 )
 POINT_RE = re.compile(r"^s1-(.+?)-(" + SCHED_ALT + r")$")
 
-# The budget-capped large-n throughput points ("s1-scale-<protocol>-...").
-# They never stabilise by design, so they feed their own throughput panel
-# instead of the stabilisation panels.
-SCALE_RE = re.compile(r"^s1-scale-(.+?)-(" + SCHED_ALT + r")$")
+# The budget-capped large-n throughput points: "s1-scale-<protocol>-..."
+# (hierarchical samplers, 10^4..10^5) and "s3-scale-<protocol>-..."
+# (count/hybrid engines, 10^6..10^8).  They never stabilise by design, so
+# they feed their own throughput panel instead of the stabilisation
+# panels.
+SCALE_RE = re.compile(r"^s[13]-scale-(.+?)-(" + SCHED_ALT + r")$")
 
 # Categorical slot 1 (blue) for the measured bars, the reserved "serious"
 # status red for models that never stabilised, and text/grid inks — the

@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Self-test for the bench-regression gate (check_bench_regression.py).
+
+The gate is the only line of defence between a semantic perf change and
+a green CI run, so its own failure modes are pinned here by driving the
+real script as a subprocess over synthesized BENCH files.  The headline
+regression: a baseline point that vanished from the current run used to
+be *printed* but never *failed* — a renamed label or dropped sweep size
+silently shrank the gate's coverage.  Now it fails with a "missing
+point" diagnostic unless the point sits above the current run's
+recorded --max-n cap (that subset was legitimately never attempted).
+
+Stdlib-only, like the gate itself; registered under `ctest -L lint`.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+GATE = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                    "check_bench_regression.py")
+
+
+def write_bench(dir_, name, points, max_n=0):
+    """Writes a minimal BENCH_<name>.json: run header + point records."""
+    path = os.path.join(dir_, f"BENCH_{name}.json")
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(json.dumps({"kind": "run", "experiment": name,
+                            "run_id": 1, "seed": 42, "threads": 1,
+                            "max_n": max_n, "size": "quick"}) + "\n")
+        for (label, n, mean) in points:
+            f.write(json.dumps({
+                "kind": "point", "run_id": 1, "point": label, "n": n,
+                "param": 0, "trials": 3, "wall_seconds": 0.1,
+                "trials_per_sec": 30.0, "mean_parallel_time": mean,
+                "timeouts": 0, "invalid": 0}) + "\n")
+    return path
+
+
+def run_gate(bench_dir, baseline_dir, *extra):
+    proc = subprocess.run(
+        [sys.executable, GATE, "--bench-dir", bench_dir,
+         "--baseline-dir", baseline_dir, *extra],
+        capture_output=True, text=True)
+    return proc.returncode, proc.stdout + proc.stderr
+
+
+def expect(cond, what, output):
+    if not cond:
+        sys.exit(f"FAIL: {what}\n--- gate output ---\n{output}")
+    print(f"ok: {what}")
+
+
+def main():
+    full = [("s1-a", 100, 1.5), ("s1-a", 100000, 9.0), ("s1-b", 100, 2.0)]
+
+    with tempfile.TemporaryDirectory() as tmp:
+        cur_dir = os.path.join(tmp, "cur")
+        base_dir = os.path.join(tmp, "base")
+        os.makedirs(cur_dir)
+
+        # Seed the baseline from a full run via the gate's own writer.
+        write_bench(cur_dir, "t", full)
+        code, out = run_gate(cur_dir, base_dir, "--update-baseline")
+        expect(code == 0, "--update-baseline exits 0", out)
+        expect(os.path.exists(os.path.join(base_dir, "BENCH_t.json")),
+               "--update-baseline writes the baseline file", out)
+
+        # Identical records pass.
+        code, out = run_gate(cur_dir, base_dir)
+        expect(code == 0, "identical records pass the gate", out)
+
+        # THE BUG: a vanished point (uncapped run) must fail, with a
+        # diagnostic naming the point.
+        write_bench(cur_dir, "t", [p for p in full if p[0] != "s1-b"])
+        code, out = run_gate(cur_dir, base_dir)
+        expect(code == 1, "vanished point fails the gate", out)
+        expect("missing point" in out and "s1-b" in out,
+               "failure carries a 'missing point' diagnostic", out)
+
+        # A vanished point ABOVE the current run's cap is excused …
+        write_bench(cur_dir, "t",
+                    [p for p in full if p[1] <= 1000], max_n=1000)
+        code, out = run_gate(cur_dir, base_dir)
+        expect(code == 0, "point above current --max-n is excused", out)
+        expect("above current --max-n" in out,
+               "excused point is still reported as a note", out)
+
+        # … but the cap does not excuse a vanished point UNDER it.
+        write_bench(cur_dir, "t",
+                    [p for p in full if p[0] != "s1-b" and p[1] <= 1000],
+                    max_n=1000)
+        code, out = run_gate(cur_dir, base_dir)
+        expect(code == 1 and "missing point" in out,
+               "cap does not excuse a sub-cap vanished point", out)
+
+        # New points (no baseline entry) never fail.
+        write_bench(cur_dir, "t", full + [("s3-new", 500, 3.0)])
+        code, out = run_gate(cur_dir, base_dir)
+        expect(code == 0, "new point without a baseline passes", out)
+
+        # The original gate still works: an injected mean-time blowup
+        # (> --factor) trips a regression failure.
+        blown = [(l, n, m * 10 if l == "s1-a" and n == 100 else m)
+                 for (l, n, m) in full]
+        write_bench(cur_dir, "t", blown)
+        code, out = run_gate(cur_dir, base_dir)
+        expect(code == 1 and "mean parallel time" in out,
+               "injected 10x mean-time regression still fails", out)
+
+    print("check_bench_regression self-test: OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,6 +1,7 @@
 #include "analysis/exact.hpp"
 
 #include <cmath>
+#include <limits>
 #include <map>
 #include <queue>
 
@@ -84,16 +85,69 @@ ExactAnalysis analyze_exact(const Protocol& p, const Configuration& start,
 
   ExactAnalysis out;
   out.reachable_configurations = configs.size();
+  // is_absorbing[i] => 1.0/2.0 tag: 1 = silent ranking, 2 = silent but NOT
+  // a ranking (stranded).  0 = transient.
+  std::vector<u8> silent_tag(configs.size(), 0);
   for (u64 i = 0; i < configs.size(); ++i) {
     if (rows[i].weight == 0) {
       ++out.silent_configurations;
-      if (!is_valid_ranking(Configuration(configs[i]), p.num_ranks())) {
+      if (is_valid_ranking(Configuration(configs[i]), p.num_ranks())) {
+        silent_tag[i] = 1;
+      } else {
+        silent_tag[i] = 2;
+        ++out.stranded_configurations;
         out.all_silent_are_rankings = false;
       }
     }
   }
 
-  // --- 2. Gauss-Seidel on E[c] = D/W + sum (w_j/W) E[j] ------------------
+  // --- 2. hitting probabilities: h = P h with h fixed on the absorbing
+  // set.  Gauss-Seidel from 0 converges monotonically to the *minimal*
+  // solution, which is exactly the hitting probability — no assumption
+  // that absorption is almost sure.  Same reverse sweep order as the
+  // expectation solve below.
+  auto hitting = [&](auto&& boundary) {
+    std::vector<double> h(configs.size(), 0.0);
+    for (u64 i = 0; i < configs.size(); ++i) {
+      if (rows[i].weight == 0 && boundary(i)) h[i] = 1.0;
+    }
+    double change = opt.epsilon + 1;
+    while (change > opt.epsilon && out.iterations < opt.max_iterations) {
+      change = 0;
+      ++out.iterations;
+      for (u64 i = configs.size(); i-- > 0;) {
+        const Row& row = rows[i];
+        if (row.weight == 0) continue;
+        double v = 0;
+        for (const auto& [j, w] : row.targets) {
+          v += static_cast<double>(w) * h[j];
+        }
+        v /= static_cast<double>(row.weight);
+        const double d = std::fabs(v - h[i]);
+        if (d > change) change = d;
+        h[i] = v;
+      }
+    }
+    PP_ASSERT_MSG(out.iterations < opt.max_iterations,
+                  "exact analysis: hitting probabilities failed to converge");
+    return h;
+  };
+  out.absorption_probability =
+      hitting([&](u64 i) { return silent_tag[i] != 0; })[0];
+  out.stranded_probability =
+      out.stranded_configurations == 0
+          ? 0.0
+          : hitting([&](u64 i) { return silent_tag[i] == 2; })[0];
+
+  // --- 3. Gauss-Seidel on E[c] = D/W + sum (w_j/W) E[j] ------------------
+  // Only solvable when absorption is almost sure; otherwise the recursion
+  // has no finite solution and the expectation is +infinity (the epsilon
+  // slack absorbs the hitting solve's own truncation error).
+  if (out.absorption_probability < 1.0 - 1e-6) {
+    out.diverges = true;
+    out.expected_parallel_time = std::numeric_limits<double>::infinity();
+    return out;
+  }
   std::vector<double> e(configs.size(), 0.0);
   double delta = opt.epsilon + 1;
   while (delta > opt.epsilon && out.iterations < opt.max_iterations) {

@@ -12,9 +12,20 @@
 // where D = n(n-1), W(c) is the configuration's productive weight, and w_j
 // the weight of the productive transition to configuration c_j (null
 // interactions are folded into the D/W(c) holding time).  The system is
-// solved by Gauss–Seidel iteration over the reachable set, which converges
-// because silence is absorbing and reachable from everywhere (the
-// protocols are stable).
+// solved by Gauss–Seidel iteration over the reachable set.
+//
+// Absorption is *not* assumed.  Silence (W(c) = 0) is absorbing, but it is
+// not necessarily a valid ranking (a stranded pile-up can be inert without
+// ranking anyone — the single-line model's all-in-X start), and it is not
+// necessarily reachable at all (the modified no-reset tree protocol cycles
+// forever).  The analysis therefore first solves the hitting-probability
+// systems h = P h (minimal solutions, monotone Gauss–Seidel from 0) for
+// (a) absorption anywhere and (b) absorption in a non-ranking silent
+// configuration, reports both as absorption_probability / the stranded
+// mass, and only solves the expectation recursion — which diverges
+// otherwise — when absorption is almost sure; a divergent start reports
+// diverges = true with an infinite expected time instead of spinning until
+// the iteration-budget assert.
 //
 // Everything here runs on the protocol's formal transition function δ
 // only — fully independent of the optimized count/Fenwick machinery, like
@@ -29,8 +40,9 @@
 namespace pp {
 
 struct ExactAnalysis {
-  /// Expected parallel stabilisation time from the requested start
-  /// (expected interactions / n).
+  /// Expected parallel absorption time from the requested start (expected
+  /// interactions / n until some silent configuration); +infinity when
+  /// diverges is set.
   double expected_parallel_time = 0;
   /// Number of configurations reachable from the start (silent ones
   /// included).
@@ -38,9 +50,24 @@ struct ExactAnalysis {
   /// Number of reachable silent configurations.  For a correct ranking
   /// protocol started with n agents this is exactly 1 (the ranking).
   u64 silent_configurations = 0;
-  /// True if every reachable silent configuration is a valid ranking.
+  /// Reachable silent configurations that are NOT valid rankings —
+  /// non-silent-in-spirit absorbing states where the chain strands.
+  u64 stranded_configurations = 0;
+  /// True if every reachable silent configuration is a valid ranking
+  /// (i.e. stranded_configurations == 0).
   bool all_silent_are_rankings = true;
-  /// Gauss-Seidel sweeps needed to converge.
+  /// Probability of ever reaching a silent configuration from the start.
+  /// 1 for a correct self-stabilising protocol; < 1 means the expectation
+  /// recursion has no finite solution (diverges below).
+  double absorption_probability = 1;
+  /// Probability of absorbing in a silent configuration that is not a
+  /// valid ranking — the stranded mass of the start.
+  double stranded_probability = 0;
+  /// Set when absorption_probability < 1: the chain can avoid silence
+  /// forever and expected_parallel_time is +infinity.
+  bool diverges = false;
+  /// Total Gauss-Seidel sweeps across the hitting-probability and
+  /// expectation solves.
   u64 iterations = 0;
 };
 

@@ -35,7 +35,10 @@ double stddev_of(std::span<const double> samples) {
 }
 
 Summary summarize(std::span<const double> samples) {
-  PP_ASSERT(!samples.empty());
+  // Zero samples is a legal (if degenerate) input — e.g. an aggregate over
+  // a fully-filtered trial set; every field stays at its zero default so
+  // nothing non-finite can reach the sinks.
+  if (samples.empty()) return Summary{};
   std::vector<double> sorted(samples.begin(), samples.end());
   std::sort(sorted.begin(), sorted.end());
   Summary s;

@@ -28,6 +28,9 @@ struct Summary {
 };
 
 /// Computes a Summary; `samples` may be unsorted and is left untouched.
+/// Degenerate inputs stay finite: an empty span yields the all-zero
+/// Summary and a single sample yields stddev = 0 (n-1 denominator
+/// clamped), so downstream sinks never see NaN.
 Summary summarize(std::span<const double> samples);
 
 /// Online mean/variance accumulator (Welford's algorithm), O(1) memory.

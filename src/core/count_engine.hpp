@@ -1,0 +1,94 @@
+// Count-vector Gillespie engine for identity-free protocols.
+//
+// The agent-array engines cap out when per-agent state dominates, but for a
+// protocol whose δ ignores agent identity (Protocol::is_count_determined():
+// ag, ring-of-traps — no extra states, every productive rule a same-state
+// rank rule) the dynamics are a pure function of the state-count vector.
+// This engine simulates exactly that Markov chain on counts:
+//
+//   * the candidate transitions are the O(states) diagonal entries of the
+//     O(states²) ordered-pair table — δ(s,t) is null off the diagonal for a
+//     count-determined protocol, which the constructor cross-checks — with
+//     productive mass c_s·(c_s − 1) per diagonal state (the off-diagonal
+//     masses c_s·c_t all carry weight 0);
+//   * events are sampled from a Fenwick tree over those masses (the same
+//     data structure the protocols use), O(log states) per event;
+//   * null interactions are folded with the *identical* geometric-skip
+//     contract as run_accelerated (advance_past_nulls: success probability
+//     W / n(n−1), kGeometricInfinity clamped to the budget, the same obs
+//     hooks) — so per-event cost is independent of n.
+//
+// Because the engine consumes the generator exactly like run_accelerated —
+// one geometric gap, then one uniform draw below W resolved through a
+// Fenwick with identical leaf contents — a run is **bit-identical
+// seed-for-seed** to run_accelerated on any count-determined protocol
+// (pinned by tests/test_count_engine.cpp).  What changes is the working
+// set: the engine owns one count vector and one mass tree, touching no
+// per-agent structure, which is what lets the hybrid driver
+// (core/hybrid_engine.hpp) and the s3 bench section push n to 10^7–10^8.
+//
+// The protocol object is left consistent: the final configuration is
+// written back (or, when an observer is installed, kept in sync event by
+// event so the observer always sees a live Protocol&).
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/engine.hpp"
+#include "core/protocol.hpp"
+#include "obs/counters.hpp"
+#include "rng/random.hpp"
+
+namespace pp {
+
+/// Per-run status of the count phase beyond the RunResult — the hybrid
+/// driver's handoff policy and its tests key off these.  The gap sketch is
+/// engine-local (not the obs registry), so the switching policy works and
+/// stays deterministic per seed even in a POPRANK_OBS=OFF build.
+struct CountRunStatus {
+  /// True when the run stopped because a null-skip gap reached the
+  /// caller's handoff threshold (end-game starvation) rather than
+  /// silence/budget/abort.
+  bool handed_off = false;
+  /// Largest log2 gap bucket observed (obs::sketch_bucket semantics).
+  u32 max_gap_bucket = 0;
+  /// Log2 histogram of null-skip gap lengths, bucket = bit_width(gap).
+  std::array<u64, obs::kSketchBuckets> gap_sketch{};
+};
+
+class CountEngine {
+ public:
+  /// Requires p.is_count_determined(); cross-checks the promise by probing
+  /// δ off the diagonal (exhaustively for small state spaces, on a
+  /// deterministic strided sample for large ones) and precomputes the
+  /// diagonal rule table from the formal transition function.
+  explicit CountEngine(Protocol& p);
+
+  /// Runs from p's current configuration to silence, budget exhaustion,
+  /// observer abort — or, when handoff_gap > 0, until a sampled null gap
+  /// reaches handoff_gap (the event that follows the gap is still applied,
+  /// so a handed-off prefix is bit-identical to the run_accelerated
+  /// prefix).  The final configuration is written back into the protocol
+  /// before returning; RunResult carries the usual engine contract.
+  RunResult run(Rng& rng, const RunOptions& opt = {}, u64 handoff_gap = 0,
+                CountRunStatus* status = nullptr);
+
+ private:
+  /// Diagonal rule δ(s,s) -> (out1, out2), read off transition().
+  struct DiagonalRule {
+    StateId out1;
+    StateId out2;
+  };
+
+  Protocol& p_;
+  std::vector<DiagonalRule> delta_;  ///< δ(s,s) per rank state
+  std::vector<u64> counts_;          ///< engine-owned count vector
+  Fenwick mass_;                     ///< c_s(c_s − 1) per rank state
+};
+
+/// Convenience entry point mirroring run_accelerated / run_uniform.
+RunResult run_count(Protocol& p, Rng& rng, const RunOptions& opt = {});
+
+}  // namespace pp

@@ -1,0 +1,76 @@
+#include "core/hybrid_engine.hpp"
+
+#include "common/assert.hpp"
+#include "core/count_engine.hpp"
+#include "obs/counters.hpp"
+
+namespace pp {
+namespace {
+
+/// Lower edge of the log2 sketch bucket containing gap_factor · n: the
+/// smallest gap that shares a bucket with the nominal threshold.  Keying
+/// the comparison to the bucket edge (rather than the raw product) makes
+/// the policy exactly "the gap sketch crossed bucket B", so an observer
+/// reading the obs registry's kNullSkipGap sketch sees the handoff as a
+/// first entry in bucket >= B.
+u64 bucket_edge(u64 gap_factor, u64 n) {
+  if (gap_factor == 0) return 0;
+  const u64 nominal =
+      gap_factor > ~static_cast<u64>(0) / n ? ~static_cast<u64>(0)
+                                            : gap_factor * n;
+  const u32 bucket = obs::sketch_bucket(nominal);  // >= 1 since nominal >= 2
+  return static_cast<u64>(1) << (bucket - 1);
+}
+
+}  // namespace
+
+RunResult run_hybrid(Protocol& p, Rng& rng, const RunOptions& opt,
+                     const HybridOptions& hopt, HybridReport* report) {
+  if (report != nullptr) *report = HybridReport{};
+  if (!p.is_count_determined()) {
+    // Wholesale fallback keeps the hybrid a total function of the protocol
+    // roster: line/tree (extra-state machinery) run the plain exact engine.
+    return run_accelerated(p, rng, opt);
+  }
+
+  const u64 handoff_gap = bucket_edge(hopt.gap_factor, p.num_agents());
+  CountEngine bulk(p);
+  CountRunStatus status;
+  RunResult r = bulk.run(rng, opt, handoff_gap, &status);
+  if (report != nullptr) {
+    report->count_phase = true;
+    report->handed_off = status.handed_off;
+    report->handoff_gap = handoff_gap;
+    report->bulk_interactions = r.interactions;
+    report->bulk_productive = r.productive_steps;
+    report->max_gap_bucket = status.max_gap_bucket;
+  }
+  if (!status.handed_off) return r;  // silence, budget, or abort — done
+
+  // End-game tail on the exact agent-level engine, same generator, budget
+  // and observer offset by the bulk (the run_clean_tail pattern of the
+  // fault-model schedulers, kept local so src/core stays scheduler-free).
+  PP_DCHECK(!r.aborted);
+  RunOptions tail;
+  tail.max_interactions = opt.max_interactions - r.interactions;
+  if (opt.on_change) {
+    const u64 base = r.interactions;
+    const auto& outer = opt.on_change;
+    tail.on_change = [&outer, base](const Protocol& q, u64 k) {
+      return outer(q, base + k);
+    };
+  }
+  const RunResult end_game = run_accelerated(p, rng, tail);
+  r.interactions += end_game.interactions;
+  r.productive_steps += end_game.productive_steps;
+  r.aborted = end_game.aborted;
+  r.silent = end_game.silent;
+  r.valid = end_game.valid;
+  r.parallel_time =
+      static_cast<double>(r.interactions) / static_cast<double>(p.num_agents());
+  PP_ASSERT_MSG(r.interactions >= r.productive_steps,
+                "engine contract: interactions >= productive_steps");
+  return r;
+}
+
+}  // namespace pp

@@ -1,0 +1,64 @@
+// Multiscale hybrid driver: count-vector bulk, agent-level end-game.
+//
+// The count engine (core/count_engine.hpp) makes the *bulk* of a run
+// n-independent per event, but its sweet spot is the high-collision regime
+// where productive mass is plentiful.  Near stabilisation the dynamics
+// enter end-game starvation — W(c) collapses to a handful of colliding
+// pairs and the geometric null gaps between events blow up towards n and
+// beyond.  That is precisely the regime the exact agent-level machinery was
+// built for (and where its per-agent costs are already amortised to
+// nothing), so the hybrid couples the two engines intermittently, after the
+// GSIS–DSMC pattern (PAPERS.md, Luo & Wu): cheap count dynamics while
+// events are dense, exact agent-level engine once fluctuations decide the
+// silent/stuck verdict.
+//
+// Handoff policy.  The count phase feeds every sampled null-skip gap into a
+// run-local log2 sketch (the same bucketisation as the obs registry's
+// kNullSkipGap sketch, but owned by the run so the policy exists in
+// POPRANK_OBS=OFF builds too).  The run hands off when a gap lands in the
+// same sketch bucket as gap_factor · n or higher — i.e. the scheduler just
+// spent ≳ gap_factor units of parallel time on null meetings, the signature
+// of end-game starvation.  The threshold is a pure function of (n,
+// gap_factor) and the gaps are a pure function of the seed, so the
+// switching point is deterministic per (seed, trial) and pinned by tests.
+//
+// Exactness.  The count phase consumes the generator exactly like
+// run_accelerated and the tail *is* run_accelerated on the same generator,
+// so a hybrid run is bit-identical seed-for-seed to a pure run_accelerated
+// run — the handoff moves work between data structures, never across
+// distributions.  Protocols without the count-determined capability fall
+// back to run_accelerated wholesale (the conformance roster runs every
+// protocol through the hybrid row).
+#pragma once
+
+#include "common/types.hpp"
+#include "core/engine.hpp"
+#include "core/protocol.hpp"
+#include "rng/random.hpp"
+
+namespace pp {
+
+struct HybridOptions {
+  /// Hand off when a null-skip gap reaches the log2 sketch bucket of
+  /// gap_factor · n interactions (gap_factor units of parallel time spent
+  /// on nulls).  0 disables handoff: the count engine runs to completion.
+  u64 gap_factor = 8;
+};
+
+/// What the driver actually did — tests and curious callers key off this;
+/// the RunResult carries only the engine-contract fields.
+struct HybridReport {
+  bool count_phase = false;  ///< bulk ran on the count engine (capability
+                             ///< flag present); false = wholesale fallback
+  bool handed_off = false;   ///< end-game tail ran on the agent-level engine
+  u64 handoff_gap = 0;       ///< gap threshold used (bucket lower edge)
+  u64 bulk_interactions = 0;  ///< interactions simulated by the count phase
+  u64 bulk_productive = 0;    ///< productive events in the count phase
+  u32 max_gap_bucket = 0;     ///< largest log2 gap bucket the bulk saw
+};
+
+RunResult run_hybrid(Protocol& p, Rng& rng, const RunOptions& opt = {},
+                     const HybridOptions& hopt = {},
+                     HybridReport* report = nullptr);
+
+}  // namespace pp

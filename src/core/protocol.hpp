@@ -97,6 +97,18 @@ class Protocol {
   /// to is_silent(); tests assert the equivalence rather than assuming it.
   bool is_valid_ranking() const;
 
+  /// Capability flag for the count-vector engine (core/count_engine.hpp):
+  /// true iff δ ignores agent identity entirely — the dynamics are a pure
+  /// function of the state-count vector.  Concretely the protocol promises
+  /// (a) it has no extra states, and (b) every productive rule is a
+  /// same-state rank rule (s,s) -> (s',s'') — δ(s,t) is null for s != t —
+  /// so the productive ordered pairs of a configuration are exactly the
+  /// c_s(c_s - 1) diagonal pairs.  ag and ring-of-traps qualify; protocols
+  /// with extra-state machinery (line/tree) must keep the default false.
+  /// CountEngine cross-checks the promise against transition() at
+  /// construction.
+  virtual bool is_count_determined() const { return false; }
+
   /// The formal transition function δ(initiator, responder) ->
   /// (initiator', responder') — the paper's rule set, written down
   /// directly.  Null interactions return the inputs unchanged.

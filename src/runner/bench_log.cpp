@@ -40,8 +40,8 @@ BenchLog BenchLog::open(const std::string& dir,
   }
   f << "{\"kind\":\"run\",\"experiment\":\"" << json_escape(experiment_id)
     << "\",\"run_id\":" << run_id << ",\"seed\":" << info.seed
-    << ",\"threads\":" << info.threads << ",\"size\":\""
-    << json_escape(info.size) << "\"}\n";
+    << ",\"threads\":" << info.threads << ",\"max_n\":" << info.max_n
+    << ",\"size\":\"" << json_escape(info.size) << "\"}\n";
   log.path_ = path;
   log.run_id_ = run_id;
   log.manifest_ = obs::ManifestWriter::open(path, run_id);

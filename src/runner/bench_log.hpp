@@ -30,6 +30,11 @@ class BenchLog {
   struct RunInfo {
     u64 seed = 0;
     u64 threads = 0;
+    /// Effective population cap of this run (0 = uncapped).  The
+    /// regression gate reads it to tell "point legitimately skipped by
+    /// --max-n" apart from "point silently vanished" — only the latter
+    /// may fail the gate.
+    u64 max_n = 0;
     std::string size;  ///< "quick" / "standard" / "full"
   };
 

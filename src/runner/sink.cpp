@@ -1,5 +1,6 @@
 #include "runner/sink.hpp"
 
+#include <cmath>
 #include <cstdio>
 
 #include "common/assert.hpp"
@@ -14,8 +15,13 @@ std::unique_ptr<std::ofstream> open_or_die(const std::string& path) {
   return f;
 }
 
-/// Round-trip-exact double formatting (17 significant digits).
+/// Round-trip-exact double formatting (17 significant digits).  NaN/inf
+/// would serialize as bare tokens no CSV/JSON reader agrees on, and every
+/// producer upstream (Summary, RunningStat, RunResult) is clamped to stay
+/// finite on degenerate inputs — a non-finite value reaching a sink is a
+/// pipeline bug, caught here rather than in whatever parses the artifact.
 std::string fmt(double v) {
+  PP_ASSERT_MSG(std::isfinite(v), "sink: non-finite value in output record");
   char buf[40];
   std::snprintf(buf, sizeof(buf), "%.17g", v);
   return buf;

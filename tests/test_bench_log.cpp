@@ -45,6 +45,7 @@ TEST(BenchLog, WritesRunHeaderThenPoints) {
   BenchLog::RunInfo info;
   info.seed = 7;
   info.threads = 2;
+  info.max_n = 4096;
   info.size = "quick";
   const BenchLog log = BenchLog::open(dir, "T1: bench log test", info);
   ASSERT_TRUE(log.enabled());
@@ -58,6 +59,8 @@ TEST(BenchLog, WritesRunHeaderThenPoints) {
   ASSERT_EQ(lines.size(), 3u);
   EXPECT_NE(lines[0].find("\"kind\":\"run\""), std::string::npos);
   EXPECT_NE(lines[0].find("\"seed\":7"), std::string::npos);
+  // The regression gate keys its missing-point logic off this field.
+  EXPECT_NE(lines[0].find("\"max_n\":4096"), std::string::npos);
   EXPECT_NE(lines[1].find("\"kind\":\"point\""), std::string::npos);
   EXPECT_NE(lines[1].find("\"point\":\"point-a\""), std::string::npos);
   EXPECT_NE(lines[2].find("\"point\":\"point-b\""), std::string::npos);

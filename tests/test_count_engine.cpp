@@ -1,0 +1,300 @@
+// Count-vector engine and hybrid driver validation.
+//
+// The headline property is *bit-identity*: on a count-determined protocol
+// the count engine consumes the generator exactly like run_accelerated
+// (one geometric gap, one uniform draw below W through an
+// identical-content Fenwick), so whole trajectories — and therefore the
+// hybrid, whose tail is run_accelerated on the same generator — must match
+// the exact agent-level engine seed for seed.  On top of that the hybrid
+// is cross-validated statistically against the faithful run_uniform
+// reference (mean-CI plus a quartile chi-squared on the stabilisation-time
+// distribution, the test_hier_sampler pattern), so agreement does not rest
+// on the bit-identity argument alone.
+#include "core/count_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/hybrid_engine.hpp"
+#include "core/initial.hpp"
+#include "protocols/ag.hpp"
+#include "protocols/line_of_traps.hpp"
+#include "protocols/ring_of_traps.hpp"
+#include "protocols/tree_ranking.hpp"
+
+namespace pp {
+namespace {
+
+void expect_same_run(const RunResult& a, const RunResult& b) {
+  EXPECT_EQ(a.interactions, b.interactions);
+  EXPECT_EQ(a.productive_steps, b.productive_steps);
+  EXPECT_EQ(a.silent, b.silent);
+  EXPECT_EQ(a.valid, b.valid);
+  EXPECT_EQ(a.aborted, b.aborted);
+  EXPECT_DOUBLE_EQ(a.parallel_time, b.parallel_time);
+}
+
+TEST(CountEngine, CapabilityFlags) {
+  EXPECT_TRUE(AgProtocol(8).is_count_determined());
+  EXPECT_TRUE(RingOfTrapsProtocol(12).is_count_determined());
+  EXPECT_FALSE(TreeRankingProtocol(8).is_count_determined());
+  EXPECT_FALSE(SingleLineProtocol(6, 2, 2).is_count_determined());
+}
+
+TEST(CountEngine, BitIdenticalToAcceleratedOnAg) {
+  for (u64 seed = 1; seed <= 5; ++seed) {
+    AgProtocol pa(64);
+    AgProtocol pc(64);
+    {
+      Rng cfg(seed);
+      const Configuration start = initial::uniform_random(pa, cfg);
+      pa.reset(start);
+      pc.reset(start);
+    }
+    Rng ra(100 + seed);
+    Rng rc(100 + seed);
+    const RunResult a = run_accelerated(pa, ra);
+    const RunResult c = run_count(pc, rc);
+    expect_same_run(a, c);
+    EXPECT_TRUE(c.silent);
+    EXPECT_TRUE(c.valid);
+    EXPECT_EQ(pa.counts(), pc.counts());
+    // Identical generator consumption, not just identical trajectories.
+    EXPECT_EQ(ra.below(1u << 30), rc.below(1u << 30));
+  }
+}
+
+TEST(CountEngine, BitIdenticalToAcceleratedOnRingOfTraps) {
+  for (u64 seed = 1; seed <= 5; ++seed) {
+    RingOfTrapsProtocol pa(30);
+    RingOfTrapsProtocol pc(30);
+    {
+      Rng cfg(40 + seed);
+      const Configuration start = initial::uniform_random(pa, cfg);
+      pa.reset(start);
+      pc.reset(start);
+    }
+    Rng ra(700 + seed);
+    Rng rc(700 + seed);
+    const RunResult a = run_accelerated(pa, ra);
+    const RunResult c = run_count(pc, rc);
+    expect_same_run(a, c);
+    EXPECT_TRUE(c.valid);
+    EXPECT_EQ(pa.counts(), pc.counts());
+  }
+}
+
+TEST(CountEngine, ObserverKeepsProtocolLiveAndCanAbort) {
+  AgProtocol p(32);
+  Rng rng(9);
+  p.reset(initial::all_in_state(p, 0));
+  int calls = 0;
+  RunOptions opt;
+  opt.on_change = [&](const Protocol& q, u64) {
+    // Sync mode: the observer must see the protocol object itself advance.
+    u64 agents = 0;
+    for (const u64 c : q.counts()) agents += c;
+    EXPECT_EQ(agents, 32u);
+    return ++calls < 5;
+  };
+  const RunResult r = run_count(p, rng, opt);
+  EXPECT_TRUE(r.aborted);
+  EXPECT_EQ(calls, 5);
+  EXPECT_EQ(r.productive_steps, 5u);
+  EXPECT_FALSE(r.silent);
+}
+
+TEST(CountEngine, BudgetExhaustionClampsExactly) {
+  AgProtocol p(1000);
+  Rng rng(11);
+  p.reset(initial::uniform_random(p, rng));
+  RunOptions opt;
+  opt.max_interactions = 10;  // far below the expected first null gap
+  const RunResult r = run_count(p, rng, opt);
+  EXPECT_EQ(r.interactions, 10u);
+  EXPECT_FALSE(r.silent);
+  EXPECT_FALSE(r.aborted);
+}
+
+TEST(CountEngine, SilentStartTerminatesImmediately) {
+  AgProtocol p(16);
+  Rng rng(12);
+  p.reset(initial::valid_ranking(p));
+  const RunResult r = run_count(p, rng);
+  EXPECT_EQ(r.interactions, 0u);
+  EXPECT_TRUE(r.silent);
+  EXPECT_TRUE(r.valid);
+}
+
+TEST(CountEngine, LargeNBudgetCappedRunIsCheap) {
+  // The engine's reason to exist: per-event cost independent of n.  A
+  // 10^6-agent run on a 5n interaction budget must be effectively instant
+  // (a handful of productive events); this would take minutes on a
+  // per-interaction simulator.
+  const u64 n = 1000000;
+  AgProtocol p(n);
+  Rng rng(13);
+  p.reset(initial::uniform_random(p, rng));
+  RunOptions opt;
+  opt.max_interactions = 5 * n;
+  const RunResult r = run_count(p, rng, opt);
+  EXPECT_EQ(r.interactions, 5 * n);
+  EXPECT_FALSE(r.silent);
+  EXPECT_GE(r.interactions, r.productive_steps);
+}
+
+TEST(HybridEngine, BitIdenticalToAcceleratedEndToEnd) {
+  for (u64 seed = 1; seed <= 5; ++seed) {
+    AgProtocol pa(64);
+    AgProtocol ph(64);
+    {
+      Rng cfg(60 + seed);
+      const Configuration start = initial::uniform_random(pa, cfg);
+      pa.reset(start);
+      ph.reset(start);
+    }
+    Rng ra(300 + seed);
+    Rng rh(300 + seed);
+    const RunResult a = run_accelerated(pa, ra);
+    HybridReport report;
+    const RunResult h = run_hybrid(ph, rh, {}, {}, &report);
+    expect_same_run(a, h);
+    EXPECT_TRUE(report.count_phase);
+    EXPECT_EQ(pa.counts(), ph.counts());
+    EXPECT_EQ(ra.below(1u << 30), rh.below(1u << 30));
+  }
+}
+
+TEST(HybridEngine, HandsOffAtEndGameStarvation) {
+  // ag at n = 64: the end-game gap between productive events approaches
+  // n(n-1)/2 ~ 2000 interactions, far beyond the 8n-derived bucket edge of
+  // 512 — the default policy must fire, and deterministically so.
+  AgProtocol p(64);
+  Rng rng(21);
+  p.reset(initial::all_in_state(p, 0));
+  HybridReport report;
+  const RunResult r = run_hybrid(p, rng, {}, {}, &report);
+  EXPECT_TRUE(r.silent);
+  EXPECT_TRUE(r.valid);
+  EXPECT_TRUE(report.count_phase);
+  EXPECT_TRUE(report.handed_off);
+  EXPECT_EQ(report.handoff_gap, 512u);  // bucket edge of 8 * 64
+  EXPECT_LT(report.bulk_interactions, r.interactions);
+  EXPECT_GE(report.max_gap_bucket, obs::sketch_bucket(report.handoff_gap));
+
+  // Same seed, same switching point: the policy is a pure function of
+  // (seed, n, gap_factor).
+  AgProtocol p2(64);
+  Rng rng2(21);
+  p2.reset(initial::all_in_state(p2, 0));
+  HybridReport report2;
+  const RunResult r2 = run_hybrid(p2, rng2, {}, {}, &report2);
+  expect_same_run(r, r2);
+  EXPECT_EQ(report.bulk_interactions, report2.bulk_interactions);
+  EXPECT_EQ(report.bulk_productive, report2.bulk_productive);
+  EXPECT_EQ(report.max_gap_bucket, report2.max_gap_bucket);
+}
+
+TEST(HybridEngine, GapFactorZeroDisablesHandoff) {
+  AgProtocol p(64);
+  Rng rng(22);
+  p.reset(initial::all_in_state(p, 0));
+  HybridOptions hopt;
+  hopt.gap_factor = 0;
+  HybridReport report;
+  const RunResult r = run_hybrid(p, rng, {}, hopt, &report);
+  EXPECT_TRUE(r.silent);
+  EXPECT_TRUE(r.valid);
+  EXPECT_TRUE(report.count_phase);
+  EXPECT_FALSE(report.handed_off);
+  EXPECT_EQ(report.bulk_interactions, r.interactions);
+}
+
+TEST(HybridEngine, FallsBackForExtraStateProtocols) {
+  TreeRankingProtocol pa(8);
+  TreeRankingProtocol ph(8);
+  pa.reset(initial::all_in_state(pa, pa.x_state(1)));
+  ph.reset(initial::all_in_state(ph, ph.x_state(1)));
+  Rng ra(31);
+  Rng rh(31);
+  const RunResult a = run_accelerated(pa, ra);
+  HybridReport report;
+  const RunResult h = run_hybrid(ph, rh, {}, {}, &report);
+  expect_same_run(a, h);
+  EXPECT_FALSE(report.count_phase);
+  EXPECT_FALSE(report.handed_off);
+}
+
+// The cross-validation the bit-identity argument does not cover: the
+// hybrid against the *faithful* per-interaction reference.  Mean
+// stabilisation times must agree (CI-style bound on the ratio) and so
+// must the distribution shape: bin the run_uniform sample at the hybrid
+// sample's quartiles and chi-squared the occupancy against uniform.
+TEST(HybridEngine, MatchesUniformEngineStatistically) {
+  const u64 n = 24;
+  const int kTrials = 80;
+  std::vector<double> hybrid_times;
+  std::vector<double> uniform_times;
+  double hybrid_sum = 0;
+  double uniform_sum = 0;
+  for (int t = 0; t < kTrials; ++t) {
+    {
+      AgProtocol p(n);
+      Rng rng(5000 + static_cast<u64>(t));
+      p.reset(initial::all_in_state(p, 0));
+      const RunResult r = run_hybrid(p, rng);
+      EXPECT_TRUE(r.valid);
+      hybrid_times.push_back(r.parallel_time);
+      hybrid_sum += r.parallel_time;
+    }
+    {
+      AgProtocol p(n);
+      Rng rng(900000 + static_cast<u64>(t));
+      p.reset(initial::all_in_state(p, 0));
+      const RunResult r = run_uniform(p, rng);
+      EXPECT_TRUE(r.valid);
+      uniform_times.push_back(r.parallel_time);
+      uniform_sum += r.parallel_time;
+    }
+  }
+  const double hybrid_mean = hybrid_sum / kTrials;
+  const double uniform_mean = uniform_sum / kTrials;
+  EXPECT_NEAR(hybrid_mean / uniform_mean, 1.0, 0.25)
+      << "hybrid=" << hybrid_mean << " uniform=" << uniform_mean;
+
+  // Quartile chi-squared: cut at the hybrid sample's quartiles, count the
+  // uniform sample per bin, expect kTrials/4 in each.
+  std::sort(hybrid_times.begin(), hybrid_times.end());
+  const double q1 = hybrid_times[kTrials / 4];
+  const double q2 = hybrid_times[kTrials / 2];
+  const double q3 = hybrid_times[3 * kTrials / 4];
+  double bins[4] = {0, 0, 0, 0};
+  for (const double v : uniform_times) {
+    if (v < q1) {
+      ++bins[0];
+    } else if (v < q2) {
+      ++bins[1];
+    } else if (v < q3) {
+      ++bins[2];
+    } else {
+      ++bins[3];
+    }
+  }
+  const double expected = kTrials / 4.0;
+  double x2 = 0;
+  for (const double b : bins) {
+    x2 += (b - expected) * (b - expected) / expected;
+  }
+  const double df = 3;
+  const double z = (x2 - df) / std::sqrt(2 * df);
+  EXPECT_LT(std::abs(z), 6.0)
+      << "x2=" << x2 << " bins=" << bins[0] << "," << bins[1] << ","
+      << bins[2] << "," << bins[3];
+}
+
+}  // namespace
+}  // namespace pp

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "core/agent_simulator.hpp"
 #include "core/engine.hpp"
 #include "core/initial.hpp"
@@ -125,27 +127,23 @@ TEST(Exact, UniqueSilentConfigurationAcrossStarts) {
 TEST(Exact, ModifiedProtocolProvablyCannotStabilise) {
   // Exhaustive proof at n = 3: from {0,2,1} the modified (no-reset) tree
   // protocol reaches NO silent configuration at all — the reset mechanism
-  // is necessary, not just convenient.
+  // is necessary, not just convenient.  Regression: the analysis used to
+  // assume absorption and spin the expectation recursion into the
+  // iteration-budget assert here; it must now report the divergence with
+  // *default* options instead of needing an epsilon workaround.
   TreeRankingProtocol p(3, 2, TreeRankingProtocol::ResetMode::kModified);
   Configuration c;
   c.counts.assign(p.num_states(), 0);
   c.counts[1] = 2;
   c.counts[2] = 1;
-  ExactOptions opt;
-  opt.max_iterations = 200;  // the system has no solution; don't wait
-  // We only need the reachability part: count silent configurations.
-  // Run the analysis with a bounded iteration budget and ignore the
-  // (divergent) expectation.
-  bool asserted = false;
-  // analyze_exact asserts on non-convergence; detect via silent count by
-  // enumerating with epsilon large enough to "converge" immediately.
-  opt.epsilon = 1e300;
-  const ExactAnalysis a = analyze_exact(p, c, opt);
-  asserted = true;
-  EXPECT_TRUE(asserted);
+  const ExactAnalysis a = analyze_exact(p, c);
   EXPECT_EQ(a.silent_configurations, 0u)
       << "no silent configuration reachable without the reset";
   EXPECT_GT(a.reachable_configurations, 1u);
+  EXPECT_DOUBLE_EQ(a.absorption_probability, 0.0);
+  EXPECT_DOUBLE_EQ(a.stranded_probability, 0.0);
+  EXPECT_TRUE(a.diverges);
+  EXPECT_TRUE(std::isinf(a.expected_parallel_time));
 
   // The standard protocol from the same start has exactly one silent
   // configuration: the ranking.
@@ -153,7 +151,61 @@ TEST(Exact, ModifiedProtocolProvablyCannotStabilise) {
   const ExactAnalysis std_a = analyze_exact(std_p, c);
   EXPECT_EQ(std_a.silent_configurations, 1u);
   EXPECT_TRUE(std_a.all_silent_are_rankings);
+  EXPECT_FALSE(std_a.diverges);
+  EXPECT_NEAR(std_a.absorption_probability, 1.0, 1e-7);
   EXPECT_GT(std_a.expected_parallel_time, 0.0);
+}
+
+TEST(Exact, StrandedStartReportsStrandedMass) {
+  // The single-line model's X state is inert: all six agents piled into X
+  // is an absorbing configuration with W = 0 that ranks nobody.  The
+  // analysis must report it as stranded mass, not as stabilisation.
+  SingleLineProtocol p(6, 2, 2);
+  Configuration c;
+  c.counts.assign(p.num_states(), 0);
+  c.counts[p.x_state()] = 6;
+  const ExactAnalysis a = analyze_exact(p, c);
+  EXPECT_EQ(a.reachable_configurations, 1u);
+  EXPECT_EQ(a.silent_configurations, 1u);
+  EXPECT_EQ(a.stranded_configurations, 1u);
+  EXPECT_FALSE(a.all_silent_are_rankings);
+  EXPECT_DOUBLE_EQ(a.absorption_probability, 1.0);
+  EXPECT_DOUBLE_EQ(a.stranded_probability, 1.0);
+  EXPECT_FALSE(a.diverges);
+  EXPECT_DOUBLE_EQ(a.expected_parallel_time, 0.0);
+}
+
+TEST(Exact, MultiStepStrandedStartPropagatesTheMass) {
+  // All six agents piled on the *entrance* gate: the chain wanders through
+  // 14 configurations before stranding (Lemma 5 makes the outcome
+  // schedule-independent, so the whole mass strands), which exercises the
+  // hitting-probability propagation through genuinely transient states —
+  // and the expectation stays finite because absorption is still almost
+  // sure.  Monte-Carlo must agree on both the verdict and the time.
+  SingleLineProtocol p(6, 2, 2);
+  Configuration c;
+  c.counts.assign(p.num_states(), 0);
+  c.counts[p.gate(1)] = 6;
+  const ExactAnalysis a = analyze_exact(p, c);
+  EXPECT_GT(a.reachable_configurations, 10u);
+  EXPECT_EQ(a.stranded_configurations, 1u);
+  EXPECT_FALSE(a.all_silent_are_rankings);
+  EXPECT_NEAR(a.absorption_probability, 1.0, 1e-7);
+  EXPECT_NEAR(a.stranded_probability, 1.0, 1e-7);
+  EXPECT_FALSE(a.diverges);
+  ASSERT_GT(a.expected_parallel_time, 0.0);
+
+  double sum = 0;
+  const int kTrials = 4000;
+  for (int t = 0; t < kTrials; ++t) {
+    Rng rng(derive_seed(35, "single-line-stranded", static_cast<u64>(t)));
+    p.reset(c);
+    const RunResult r = run_accelerated(p, rng);
+    EXPECT_TRUE(r.silent);
+    EXPECT_FALSE(r.valid) << "this start must strand, not rank";
+    sum += r.parallel_time;
+  }
+  EXPECT_NEAR((sum / kTrials) / a.expected_parallel_time, 1.0, 0.06);
 }
 
 TEST(Exact, SingleLineMatchesMonteCarlo) {

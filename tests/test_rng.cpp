@@ -192,6 +192,59 @@ TEST(Rng, BinomialMomentsMatchTheory) {
   }
 }
 
+TEST(Rng, BinomialMatchesNaiveBernoulliAtExtremeParameters) {
+  // The count engine's null-folding leans on binomial() far outside the
+  // comfortable m*p regime, so fuzz the geometric-jump sampler against the
+  // definitional reference — m independent Bernoulli(p) trials — exactly
+  // at the extremes: degenerate p, denormal-adjacent p, the p > 1/2
+  // complement path, and m from 0 to 10^6.
+  Rng fast(101);
+  Rng naive(202);
+  const double kP[] = {0.0, 1e-12, 0.5, 1.0 - 1e-12, 1.0};
+  const u64 kM[] = {0, 1, 1000000};
+  for (const u64 m : kM) {
+    for (const double p : kP) {
+      const int k_fast = m > 1000 ? 500 : 20000;
+      const int k_naive = m > 1000 ? 20 : 20000;
+      double fast_sum = 0;
+      for (int d = 0; d < k_fast; ++d) {
+        const u64 x = fast.binomial(m, p);
+        ASSERT_LE(x, m) << "m=" << m << " p=" << p;
+        fast_sum += static_cast<double>(x);
+      }
+      double naive_sum = 0;
+      for (int d = 0; d < k_naive; ++d) {
+        u64 x = 0;
+        for (u64 i = 0; i < m; ++i) {
+          if (naive.bernoulli(p)) ++x;
+        }
+        naive_sum += static_cast<double>(x);
+      }
+      const double fast_mean = fast_sum / k_fast;
+      const double naive_mean = naive_sum / k_naive;
+      const double var = static_cast<double>(m) * p * (1.0 - p);
+      if (var * k_naive >= 25.0) {
+        // Enough mass for the normal approximation: Welch-style z-bound
+        // on the difference of sample means.
+        const double sd = std::sqrt(var * (1.0 / k_fast + 1.0 / k_naive));
+        EXPECT_LE(std::fabs(fast_mean - naive_mean), 6.0 * sd)
+            << "m=" << m << " p=" << p << " fast=" << fast_mean
+            << " naive=" << naive_mean;
+      } else {
+        // Near-deterministic regime (p in {0,1} exactly, or so extreme
+        // that a success/failure is a <= 1e-3-probability event across
+        // the whole sample): both samplers must hug the deterministic
+        // value, with a tiny allowance for the rare-event tail.
+        const double det = p > 0.5 ? static_cast<double>(m) : 0.0;
+        EXPECT_LE(std::fabs(fast_sum - det * k_fast), 5.0)
+            << "m=" << m << " p=" << p;
+        EXPECT_LE(std::fabs(naive_sum - det * k_naive), 5.0)
+            << "m=" << m << " p=" << p;
+      }
+    }
+  }
+}
+
 TEST(Rng, OrderedPairDistinct) {
   Rng rng(13);
   for (int i = 0; i < 10000; ++i) {

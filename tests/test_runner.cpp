@@ -281,6 +281,32 @@ TEST(Sink, CsvWritesHeaderAndOneRowPerTrial) {
   EXPECT_EQ(lines, 6u);  // header + 5 trials
 }
 
+TEST(Sink, DegenerateAggregateStaysFinite) {
+  // A single-trial aggregate is the NaN hazard: every n-1 denominator and
+  // sqrt(count) division is degenerate.  The stats layer clamps them to 0
+  // and the sinks assert finiteness, so the serialized artifact must never
+  // contain a non-finite token.
+  RunnerOptions opt;
+  opt.trials = 1;
+  const TrialSet set = run_trials(ring_spec(), opt);
+  EXPECT_EQ(set.stats.parallel_time.count(), 1u);
+  std::ostringstream csv;
+  std::ostringstream jsonl;
+  {
+    CsvSink sink(csv);
+    sink.write_aggregate(ring_spec(), set);
+  }
+  {
+    JsonlSink sink(jsonl);
+    sink.write_aggregate(ring_spec(), set);
+  }
+  for (const std::string& text : {csv.str(), jsonl.str()}) {
+    EXPECT_FALSE(text.empty());
+    EXPECT_EQ(text.find("nan"), std::string::npos) << text;
+    EXPECT_EQ(text.find("inf"), std::string::npos) << text;
+  }
+}
+
 TEST(Sink, CsvOutputIsThreadCountInvariant) {
   RunnerOptions opt;
   opt.trials = 10;

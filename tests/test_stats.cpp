@@ -22,6 +22,33 @@ TEST(Stats, SingleSample) {
   EXPECT_DOUBLE_EQ(s.max, 3.5);
 }
 
+TEST(Stats, EmptySampleYieldsFiniteZeroSummary) {
+  // Regression: summarize({}) used to assert; an empty trial set (e.g. a
+  // fully-filtered aggregate) must yield the all-zero Summary instead of
+  // crashing or leaking NaN into the sinks.
+  const Summary s = summarize(std::span<const double>{});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.min, 0.0);
+  EXPECT_DOUBLE_EQ(s.max, 0.0);
+  EXPECT_DOUBLE_EQ(s.median, 0.0);
+  EXPECT_DOUBLE_EQ(s.ci95_halfwidth(), 0.0);
+  EXPECT_TRUE(std::isfinite(s.mean) && std::isfinite(s.stddev));
+}
+
+TEST(Stats, DegenerateSummariesStayFinite) {
+  // 0- and 1-sample inputs must never produce NaN in any field the sinks
+  // serialize (stddev has an n-1 denominator, ci95 divides by sqrt(n)).
+  for (const Summary& s :
+       {summarize(std::span<const double>{}), summarize({{42.0}})}) {
+    for (const double v : {s.mean, s.stddev, s.min, s.q25, s.median, s.q75,
+                           s.q95, s.max, s.ci95_halfwidth()}) {
+      EXPECT_TRUE(std::isfinite(v)) << "count=" << s.count;
+    }
+  }
+}
+
 TEST(Stats, KnownSummary) {
   const std::vector<double> v{1, 2, 3, 4, 5};
   const Summary s = summarize(v);
@@ -55,6 +82,89 @@ TEST(Stats, Ci95ShrinksWithSamples) {
   }
   EXPECT_GT(summarize(small).ci95_halfwidth(),
             summarize(big).ci95_halfwidth());
+}
+
+TEST(RunningStat, EmptyAccumulatorReportsZeros) {
+  const RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 0.0);
+}
+
+TEST(RunningStat, SingleSampleHasZeroVariance) {
+  RunningStat s;
+  s.push(7.25);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 7.25);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 7.25);
+  EXPECT_DOUBLE_EQ(s.max(), 7.25);
+}
+
+TEST(RunningStat, MergeWithEmptyDoesNotDragMinMaxTowardZero) {
+  // The pitfall the 0-valued empty sentinels invite: merging an empty
+  // accumulator into one whose genuine min is far above 0 (or max far
+  // below) must not pull min/max toward the sentinel, in either direction.
+  RunningStat populated;
+  populated.push(100.0);
+  populated.push(150.0);
+  RunningStat empty;
+
+  RunningStat a = populated;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.min(), 100.0);
+  EXPECT_DOUBLE_EQ(a.max(), 150.0);
+  EXPECT_DOUBLE_EQ(a.mean(), 125.0);
+
+  RunningStat b = empty;
+  b.merge(populated);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.min(), 100.0);
+  EXPECT_DOUBLE_EQ(b.max(), 150.0);
+  EXPECT_DOUBLE_EQ(b.mean(), 125.0);
+
+  // All-negative samples: the 0 sentinel now sits above the true max.
+  RunningStat negative;
+  negative.push(-30.0);
+  negative.push(-20.0);
+  negative.merge(empty);
+  EXPECT_DOUBLE_EQ(negative.max(), -20.0);
+  RunningStat c = empty;
+  c.merge(negative);
+  EXPECT_DOUBLE_EQ(c.max(), -20.0);
+  EXPECT_DOUBLE_EQ(c.min(), -30.0);
+}
+
+TEST(RunningStat, MergeMatchesSequentialPushes) {
+  RunningStat left;
+  RunningStat right;
+  RunningStat all;
+  const std::vector<double> xs{4.0, 9.0, -1.5, 2.25, 6.0, 3.0};
+  for (size_t i = 0; i < xs.size(); ++i) {
+    (i < 3 ? left : right).push(xs[i]);
+    all.push(xs[i]);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-12);
+}
+
+TEST(RunningStat, MergeTwoEmptiesStaysEmpty) {
+  RunningStat a;
+  const RunningStat b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_DOUBLE_EQ(a.min(), 0.0);
+  EXPECT_DOUBLE_EQ(a.max(), 0.0);
+  EXPECT_DOUBLE_EQ(a.stddev(), 0.0);
 }
 
 TEST(Fit, ExactLine) {
