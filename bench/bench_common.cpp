@@ -114,15 +114,20 @@ RunnerOptions runner_options(const Context& ctx, u64 trials) {
 
 void run_scale_section(
     const Context& ctx, const std::string& title,
-    const std::string& label_prefix, const std::vector<u64>& sizes,
+    const std::string& label_prefix, const std::string& protocol,
+    const std::vector<u64>& sizes,
     const std::function<std::vector<SchedulerSpec>(u64)>& menu) {
   if (sizes.empty()) return;
   const u64 trials = ctx.trials_or(ctx.quick() ? 2 : 3);
-  Table t(title + ", ag, parallel-time budget 5 (" + std::to_string(trials) +
-          " trials/point)");
+  Table t(title + ", " + protocol + ", parallel-time budget 5 (" +
+          std::to_string(trials) + " trials/point)");
   t.headers({"scheduler", "n", "interactions", "prod. steps", "trials/s",
              "wall s"});
-  for (const u64 n : sizes) {
+  for (const u64 raw_n : sizes) {
+    // Rounded per protocol (line-of-traps wants its canonical 3m³(m+1)
+    // populations) — AFTER the caller's cap filter, so a rounded size may
+    // sit slightly below the nominal 10^4/10^5 grid point.
+    const u64 n = preferred_population(protocol, raw_n);
     for (const SchedulerSpec& sched : menu(n)) {
       const std::string sched_name = sched.to_string();
       // Registry protocol + named init rather than an opaque factory
@@ -130,7 +135,7 @@ void run_scale_section(
       // point's provenance-manifest record stays replayable.
       TrialSpec spec;
       spec.label = label_prefix + sched_name;
-      spec.protocol = "ag";
+      spec.protocol = protocol;
       spec.n = n;
       spec.init = gen_uniform_random();
       spec.max_interactions = 5 * n;

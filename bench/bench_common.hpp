@@ -70,17 +70,19 @@ struct Context {
 std::vector<u64> capped_sizes(const Context& ctx, std::vector<u64> sizes);
 
 /// The shared large-n *scale section* of the scheduler benches: for each
-/// n in `sizes` (already capped by the caller), runs every scheduler
-/// `menu(n)` returns over the `ag` protocol under a parallel-time budget
-/// of 5 — budget-capped throughput points, not stabilisation (AG needs
-/// ~n² parallel time) — and emits one table row plus one BENCH record
-/// per point, labelled "<label_prefix><scheduler name>".  No-op when
-/// `sizes` is empty.  The label prefix is load-bearing: the figure
+/// n in `sizes` (already capped by the caller, then rounded to the
+/// protocol's preferred population), runs every scheduler `menu(n)`
+/// returns over the registry protocol `protocol` under a parallel-time
+/// budget of 5 — budget-capped throughput points, not stabilisation (AG
+/// needs ~n² parallel time) — and emits one table row plus one BENCH
+/// record per point, labelled "<label_prefix><scheduler name>".  No-op
+/// when `sizes` is empty.  The label prefix is load-bearing: the figure
 /// script routes "s1-scale-..." records to the throughput panel, and
 /// the regression gate matches baselines by the full label.
 void run_scale_section(
     const Context& ctx, const std::string& title,
-    const std::string& label_prefix, const std::vector<u64>& sizes,
+    const std::string& label_prefix, const std::string& protocol,
+    const std::vector<u64>& sizes,
     const std::function<std::vector<SchedulerSpec>(u64)>& menu);
 
 /// Parses flags/environment, prints the experiment banner and truncates

@@ -54,7 +54,11 @@
 // memory O(n)), not stabilisation.  They are labelled "s1-scale-..." so
 // the stabilisation figure keeps its panels honest, and they respect
 // --max-n (quick mode defaults to capping them away; CI raises the cap
-// per build type).
+// per build type).  The extra-state protocols (line-of-traps,
+// tree-ranking) get their own scale sections on the same fast path —
+// their declared extra-pair classes ride the grouped sampler's extra
+// window and the weighted[trap-decay] state-distance kernel, so the
+// dense-only cap they used to carry is gone.
 //
 // A third, "s3-scale-..." section does the same for the count-vector and
 // hybrid engines at n ∈ {10^6, 10^7, 10^8} — the count engine's
@@ -134,7 +138,7 @@ int run(const Context& ctx) {
 
   // ---- scale section: the hierarchical sampler at 10^4 .. 10^5 ----------
   run_scale_section(
-      ctx, "S1 scale — hierarchical sampler throughput", "s1-scale-ag-",
+      ctx, "S1 scale — hierarchical sampler throughput", "s1-scale-ag-", "ag",
       capped_sizes(ctx, {10000, 100000}), [](u64 n) {
         std::vector<SchedulerSpec> menu;
         SchedulerSpec s;
@@ -159,6 +163,35 @@ int run(const Context& ctx) {
         return menu;
       });
 
+  // ---- scale section: extra-state protocols on the same fast path --------
+  // Line-of-traps and tree-ranking carry extra (non-rank) states, which
+  // used to force the weighted models onto the dense Θ(n²) path and cap
+  // them near n = 4096.  Their declared ExtraPairClasses now ride the
+  // grouped sampler's extra window (and the trap-decay state-distance
+  // kernel), so the whole protocol matrix shares one 10^4..10^5 fast
+  // path.  Same budget-capped throughput semantics as the ag section.
+  for (const char* proto : {"line-of-traps", "tree-ranking"}) {
+    run_scale_section(
+        ctx, "S1 scale — extra-state protocol throughput",
+        std::string("s1-scale-") + proto + "-", proto,
+        capped_sizes(ctx, {10000, 100000}), [](u64 n) {
+          std::vector<SchedulerSpec> menu;
+          SchedulerSpec s;
+          s.kind = SchedulerKind::kWeighted;
+          s.kernel = WeightKernel::kRingDecay;
+          menu.push_back(s);
+          s.kernel = WeightKernel::kTrapDecay;
+          menu.push_back(s);
+          s = SchedulerSpec{};
+          s.kind = SchedulerKind::kDynamicGraph;
+          s.graph = GraphKind::kCycle;
+          s.dynamics = GraphDynamics::kEdgeMarkovian;
+          s.edge_death = 2.0 / static_cast<double>(n);  // see the ag section
+          menu.push_back(s);
+          return menu;
+        });
+  }
+
   // ---- s3 scale section: the count/hybrid engines at 10^6 .. 10^8 --------
   // Where the agent-level samplers top out (the s1 scale section is O(n)
   // memory and O(1)-per-event but still walks every agent), the
@@ -172,7 +205,7 @@ int run(const Context& ctx) {
   // interactions); CI runs Release with --max-n=10^7, the 10^8 point is
   // for full local runs.
   run_scale_section(
-      ctx, "S3 scale — count-vector engine throughput", "s3-scale-ag-",
+      ctx, "S3 scale — count-vector engine throughput", "s3-scale-ag-", "ag",
       capped_sizes(ctx, {1000000, 10000000, 100000000}), [](u64) {
         std::vector<SchedulerSpec> menu;
         SchedulerSpec s;

@@ -49,6 +49,7 @@ the missing-point check there):
   cd build && ./bench_scheduler_comparison --quick --trials=3 --max-n=10000000
   ./bench_hostile_sweep --quick --trials=2 --max-n=10000
   ./bench_whp_concentration --quick --trials=3
+  ./bench_sampler_update --quick --trials=2 --max-n=10000
   python3 ../bench/check_bench_regression.py --bench-dir . --update-baseline
 """
 

@@ -39,10 +39,12 @@ SCHED_ALT = (
 POINT_RE = re.compile(r"^s1-(.+?)-(" + SCHED_ALT + r")$")
 
 # The budget-capped large-n throughput points: "s1-scale-<protocol>-..."
-# (hierarchical samplers, 10^4..10^5) and "s3-scale-<protocol>-..."
-# (count/hybrid engines, 10^6..10^8).  They never stabilise by design, so
-# they feed their own throughput panel instead of the stabilisation
-# panels.
+# (hierarchical samplers, 10^4..10^5 — ag plus the extra-state protocols
+# line-of-traps/tree-ranking, whose weighted[ring-decay]/
+# weighted[trap-decay]/dynamic rows ride the same fast path since the
+# dense-only cap was retired) and "s3-scale-<protocol>-..." (count/hybrid
+# engines, 10^6..10^8).  They never stabilise by design, so they feed
+# their own throughput panel instead of the stabilisation panels.
 SCALE_RE = re.compile(r"^s[13]-scale-(.+?)-(" + SCHED_ALT + r")$")
 
 # Categorical slot 1 (blue) for the measured bars, the reserved "serious"

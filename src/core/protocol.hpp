@@ -32,6 +32,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/assert.hpp"
 #include "common/types.hpp"
 #include "core/configuration.hpp"
 #include "ds/fenwick.hpp"
@@ -108,6 +109,59 @@ class Protocol {
   /// CountEngine cross-checks the promise against transition() at
   /// construction.
   virtual bool is_count_determined() const { return false; }
+
+  /// Capability declaration for the hierarchical pair samplers
+  /// (schedulers/pair_sampler.hpp): which whole *classes* of ordered pairs
+  /// involving extra-state agents are productive, independent of counts.
+  /// Under this library's protocol backbone every same-state rank pair is
+  /// productive and every distinct-rank pair is null; the extra-state
+  /// protocols additionally make entire orientation classes productive —
+  /// e.g. line-of-traps routes *every* agent meeting an X responder, and
+  /// tree-ranking fires on *every* pair whose initiator is a buffer agent.
+  /// When a class flag is set, EVERY ordered pair in that class must be
+  /// productive; when clear, every such pair must be null.  Like
+  /// is_count_determined(), this is a promise: GroupedKernelSampler
+  /// cross-checks it against transition() at construction on a bounded
+  /// probe set, so a wrong declaration fails fast instead of skewing the
+  /// sampling distribution.
+  struct ExtraPairClasses {
+    bool extra_extra = false;  ///< every ordered (extra, extra) pair
+    bool extra_rank = false;   ///< every ordered (extra, rank) pair
+    bool rank_extra = false;   ///< every ordered (rank, extra) pair
+  };
+  /// Default: no extra pair is ever productive (exactly right for
+  /// protocols without extra states, and for inert extras such as
+  /// SingleLineProtocol's absorbing X).
+  virtual ExtraPairClasses extra_pair_classes() const { return {}; }
+
+  /// --- O(log n) mutation API for fault models --------------------------
+  /// A churn fault teleports k agents; rebuilding the protocol from a
+  /// copied configuration costs O(n), these three calls cost O(k log n)
+  /// total.  ChurnScheduler's fast path uses them; the copy-and-rebuild
+  /// reference survives behind SchedulerSpec::dense_reference and tests
+  /// pin the two paths bit-identical.
+
+  /// State of the `target`-th agent under the canonical count ordering
+  /// (agents are anonymous: "a uniform agent" is a state sampled with
+  /// probability proportional to its count).  `target` in [0, n).
+  StateId uniform_agent_state(u64 target) const {
+    PP_DCHECK(target < n_agents_);
+    return static_cast<StateId>(count_all_.find(target));
+  }
+
+  /// Teleports one agent from state `from` (which must be occupied) to
+  /// state `to`, keeping counts and both Fenwick trees consistent.
+  /// Callers mutating in bulk must call commit_moves() afterwards.
+  void move_agent(StateId from, StateId to) {
+    mutate(from, -1);
+    mutate(to, +1);
+  }
+
+  /// Ends a bulk-mutation burst: gives derived protocols the same
+  /// cache-refresh hook a full reset() would (no library protocol caches
+  /// anything today, but the contract keeps move_agent equivalent to
+  /// reset(configuration-with-moves-applied) forever).
+  void commit_moves() { on_reset(); }
 
   /// The formal transition function δ(initiator, responder) ->
   /// (initiator', responder') — the paper's rule set, written down

@@ -20,6 +20,8 @@ const char* counter_name(Counter c) {
       return "fault_events";
     case Counter::kFaultAgentMoves:
       return "fault_agent_moves";
+    case Counter::kFaultStateTouches:
+      return "fault_state_touches";
     case Counter::kCount:
       break;
   }

@@ -54,6 +54,10 @@ enum class Counter : u32 {
   kFaultEvents,        ///< environmental faults (churn events, partition
                        ///< split/heal transitions)
   kFaultAgentMoves,    ///< agents teleported by churn fault events
+  kFaultStateTouches,  ///< per-state count mutations applied by the churn
+                       ///< move_agent fast path (2 per applied move) — the
+                       ///< O(k log n) fault-cost evidence the update
+                       ///< microbench and property tests read
   kCount,
 };
 inline constexpr u32 kNumCounters = static_cast<u32>(Counter::kCount);

@@ -61,6 +61,14 @@ class LineOfTrapsProtocol final : public Protocol {
   u64 global_surplus() const;
   u64 global_deficit() const;
 
+  /// X routing fires on X + X and on (l,a,b) + X — every ordered pair
+  /// whose *responder* is the extra state X is productive, and (X, rank)
+  /// pairs are null.  The grouped sampler cross-checks this against
+  /// transition() at construction.
+  ExtraPairClasses extra_pair_classes() const override {
+    return {.extra_extra = true, .extra_rank = false, .rank_extra = true};
+  }
+
  protected:
   u64 extra_weight() const override;
   void step_extra(u64 target, Rng& rng) override;

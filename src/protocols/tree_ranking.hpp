@@ -81,6 +81,15 @@ class TreeRankingProtocol final : public Protocol {
   /// Agents currently on the buffer line (any X_i).
   u64 buffer_agents() const { return num_agents() - rank_agents(); }
 
+  /// R3/R5 fire on every ordered buffer pair (min(i, j) < 2k advances the
+  /// line, i = j = 2k re-enters the root) and R4 on every (X_i, rank)
+  /// pair — in both reset modes — while (rank, extra) ordered pairs are
+  /// null by the rule-orientation note above.  The grouped sampler
+  /// cross-checks this against transition() at construction.
+  ExtraPairClasses extra_pair_classes() const override {
+    return {.extra_extra = true, .extra_rank = true, .rank_extra = false};
+  }
+
  protected:
   u64 extra_weight() const override;
   void step_extra(u64 target, Rng& rng) override;

@@ -23,6 +23,15 @@
 // δ-driven configuration changes; fault_events counts the injected faults
 // (so tests can assert the storm actually corrupted the run);
 // parallel_time = ticks / n.
+//
+// Fault cost.  By default each fault event applies its teleports through
+// the Protocol's O(log n) mutation API (uniform_agent_state / move_agent /
+// commit_moves) — O(k log n) for a k-agent burst, which is what lets the
+// hostile benches run churn at n = 10^5.  The original transparent
+// implementation — copy the configuration, apply the burst to the copy,
+// reset the protocol — costs O(n) per fault and survives behind
+// SchedulerSpec::dense_reference ("churn[.../dense-ref]"); the two paths
+// consume identical RNG draws and are pinned bit-identical by test.
 #pragma once
 
 #include <string>
@@ -36,8 +45,11 @@ class ChurnScheduler final : public Scheduler {
  public:
   /// rate: per-tick fault probability in [0, 1]; faults: agents teleported
   /// per event (>= 1); active: storm length in ticks (0 = 50 n); reset:
-  /// where teleported agents land.
-  ChurnScheduler(double rate, u64 faults, u64 active, ChurnReset reset);
+  /// where teleported agents land; rebuild_reference: take the O(n)
+  /// copy-and-rebuild fault path instead of the O(k log n) move_agent
+  /// fast path (bit-identical trajectories — see the header comment).
+  ChurnScheduler(double rate, u64 faults, u64 active, ChurnReset reset,
+                 bool rebuild_reference = false);
 
   std::string_view name() const override { return name_; }
 
@@ -49,7 +61,8 @@ class ChurnScheduler final : public Scheduler {
   u64 faults_;
   u64 active_;
   ChurnReset reset_;
-  std::string name_;  // "churn[<rate>{x<faults>}/<reset>]"
+  bool rebuild_reference_;
+  std::string name_;  // "churn[<rate>{x<faults>}/<reset>{/dense-ref}]"
 };
 
 }  // namespace pp

@@ -159,8 +159,8 @@ u64 DistanceKernel::find_distance(u64 target) const {
   return static_cast<u64>(it - prefix_.begin());
 }
 
-u64 DistanceKernel::sample_partner(Rng& rng, u64 i) const {
-  const u64 target = rng.below(row_total(i));
+u64 DistanceKernel::partner_at(u64 i, u64 target) const {
+  PP_DCHECK(i < n_ && target < row_total(i));
   if (geom_ == Geometry::kRing) {
     const u64 a = n_ / 2;
     if (target < prefix_[a]) return (i + find_distance(target)) % n_;
@@ -168,6 +168,10 @@ u64 DistanceKernel::sample_partner(Rng& rng, u64 i) const {
   }
   if (target < prefix_[i]) return i - find_distance(target);
   return i + find_distance(target - prefix_[i]);
+}
+
+u64 DistanceKernel::sample_partner(Rng& rng, u64 i) const {
+  return partner_at(i, rng.below(row_total(i)));
 }
 
 std::pair<u64, u64> DistanceKernel::sample_pair(Rng& rng) const {
@@ -185,16 +189,76 @@ std::pair<u64, u64> DistanceKernel::sample_pair(Rng& rng) const {
 
 // ---- GroupedKernelSampler -------------------------------------------------
 
+bool GroupedKernelSampler::supports(const Protocol& p) {
+  if (p.num_extra_states() == 0) return true;
+  const Protocol::ExtraPairClasses c = p.extra_pair_classes();
+  // The row-total collapse needs each productive pair involving an extra
+  // agent to be counted by exactly one designated extra endpoint: both
+  // cross orientations productive would double-count (extra, rank) pairs,
+  // and a lone cross orientation without (extra, extra) pairs (or vice
+  // versa) is not a sum of full kernel rows.
+  if (c.extra_rank && c.rank_extra) return false;
+  return c.extra_extra == (c.extra_rank || c.rank_extra);
+}
+
+void GroupedKernelSampler::verify_classes() const {
+  // Bounded capability cross-check, in the style of CountEngine's
+  // is_count_determined() probe: a wrong ExtraPairClasses declaration (or
+  // a backbone violation) fails fast here instead of skewing the sampled
+  // pair distribution.
+  const Protocol& p = *p_;
+  const u64 num_extra = p.num_extra_states();
+  const u64 rank_probe = std::min<u64>(num_ranks_, 64);
+  const u64 extra_probe = std::min<u64>(num_extra, 16);
+  for (u64 s = 0; s < rank_probe; ++s) {
+    const StateId rs = static_cast<StateId>(s);
+    PP_ASSERT_MSG(pair_is_productive(p, rs, rs),
+                  "grouped sampler backbone violated: a same-state rank "
+                  "pair is null");
+    const StateId rt = static_cast<StateId>((s + 1) % num_ranks_);
+    PP_ASSERT_MSG(rs == rt || !pair_is_productive(p, rs, rt),
+                  "grouped sampler backbone violated: a distinct-rank "
+                  "pair is productive");
+  }
+  for (u64 a = 0; a < extra_probe; ++a) {
+    const StateId ea = static_cast<StateId>(num_ranks_ + a);
+    for (u64 b = 0; b < extra_probe; ++b) {
+      const StateId eb = static_cast<StateId>(num_ranks_ + b);
+      PP_ASSERT_MSG(pair_is_productive(p, ea, eb) == classes_.extra_extra,
+                    "declared ExtraPairClasses.extra_extra contradicts "
+                    "transition()");
+    }
+    for (u64 s = 0; s < rank_probe; ++s) {
+      const StateId rs = static_cast<StateId>(s);
+      PP_ASSERT_MSG(pair_is_productive(p, ea, rs) == classes_.extra_rank,
+                    "declared ExtraPairClasses.extra_rank contradicts "
+                    "transition()");
+      PP_ASSERT_MSG(pair_is_productive(p, rs, ea) == classes_.rank_extra,
+                    "declared ExtraPairClasses.rank_extra contradicts "
+                    "transition()");
+    }
+  }
+}
+
 GroupedKernelSampler::GroupedKernelSampler(const DistanceKernel& kernel,
                                            const Protocol& p,
                                            std::vector<StateId> placement)
-    : kernel_(&kernel), p_(&p), state_(std::move(placement)) {
+    : kernel_(&kernel),
+      p_(&p),
+      classes_(p.extra_pair_classes()),
+      num_ranks_(p.num_ranks()),
+      state_(std::move(placement)) {
   const u64 n = state_.size();
   PP_ASSERT_MSG(n == kernel.n(), "kernel size != population size");
-  PP_ASSERT_MSG(p.num_extra_states() == 0,
-                "the grouped kernel sampler needs a same-state-productive "
-                "protocol (no extra states); extra-state protocols take "
-                "the dense reference path");
+  PP_ASSERT_MSG(supports(p),
+                "the grouped kernel sampler needs an extra-state-free "
+                "protocol or a declared ExtraPairClasses pattern whose "
+                "extra mass is a sum of full kernel rows; other patterns "
+                "take the dense reference path");
+  has_extra_window_ = p.num_extra_states() > 0 &&
+                      (classes_.extra_extra || classes_.extra_rank ||
+                       classes_.rank_extra);
+  verify_classes();
   group_.resize(p.num_states());
   slot_.resize(n);
   for (u64 a = 0; a < n; ++a) {
@@ -202,11 +266,13 @@ GroupedKernelSampler::GroupedKernelSampler(const DistanceKernel& kernel,
     slot_[a] = static_cast<u32>(g.size());
     g.push_back(static_cast<u32>(a));
   }
-  // Bulk-build the per-state within-group masses: every same-state rule of
-  // an extra-state-free protocol changes the configuration, so a state's
-  // productive mass IS its ordered within-group kernel mass.
+  // Bulk-build the per-rank-state within-group masses: every same-state
+  // rank rule changes the configuration, so a rank state's productive
+  // mass IS its ordered within-group kernel mass.  Extra-state pairs are
+  // carried by the per-position row-total window instead (and inert
+  // extras carry no mass at all).
   std::vector<u64> mass(p.num_states(), 0);
-  for (u64 s = 0; s < group_.size(); ++s) {
+  for (u64 s = 0; s < num_ranks_; ++s) {
     const std::vector<u32>& g = group_[s];
     u64 m = 0;
     for (u64 x = 0; x < g.size(); ++x) {
@@ -217,6 +283,13 @@ GroupedKernelSampler::GroupedKernelSampler(const DistanceKernel& kernel,
     mass[s] = m;
   }
   productive_.assign(std::move(mass));
+  if (has_extra_window_) {
+    std::vector<u64> rows(n, 0);
+    for (u64 a = 0; a < n; ++a) {
+      if (state_[a] >= num_ranks_) rows[a] = kernel_->row_total(a);
+    }
+    extra_mass_.assign(std::move(rows));
+  }
 }
 
 u64 GroupedKernelSampler::member_mass(u64 a,
@@ -230,9 +303,26 @@ u64 GroupedKernelSampler::member_mass(u64 a,
 }
 
 std::pair<u64, u64> GroupedKernelSampler::sample_productive(Rng& rng) const {
-  PP_DCHECK(productive_.total() > 0);
-  const StateId s =
-      static_cast<StateId>(productive_.find(rng.below(productive_.total())));
+  const u64 rank_mass = productive_.total();
+  PP_DCHECK(rank_mass + extra_total() > 0);
+  // One combined draw over both halves; when no extra window is active
+  // this consumes exactly the rank-only draw, so extra-state-free
+  // trajectories (and their pinned literals) are unchanged.
+  const u64 pick = rng.below(rank_mass + extra_total());
+  if (pick >= rank_mass) {
+    // Extra-class window: locate the extra-state agent owning the slot,
+    // then invert its kernel row in place — any partner forms a
+    // productive pair, oriented by the declared classes (rank_extra:
+    // the partner initiates into the extra responder; otherwise the
+    // extra agent initiates).  No second draw is needed: the slot
+    // offset within the row is already row-CDF-uniform.
+    const u64 u = pick - rank_mass;
+    const u64 b = extra_mass_.find(u);
+    const u64 partner = kernel_->partner_at(b, u - extra_mass_.prefix(b));
+    return classes_.rank_extra ? std::make_pair(partner, b)
+                               : std::make_pair(b, partner);
+  }
+  const StateId s = static_cast<StateId>(productive_.find(pick));
   const std::vector<u32>& g = group_[s];
   PP_OBS_ADD(kGroupTouches, g.size());
   PP_OBS_SKETCH(kGroupSize, g.size());
@@ -261,12 +351,21 @@ void GroupedKernelSampler::move_agent(u64 a, StateId from, StateId to) {
   f[idx] = moved;
   slot_[moved] = idx;
   f.pop_back();
-  productive_.set(from, productive_.get(from) - member_mass(a, f));
+  if (from < num_ranks_) {
+    productive_.set(from, productive_.get(from) - member_mass(a, f));
+  }
   std::vector<u32>& t = group_[to];
-  productive_.set(to, productive_.get(to) + member_mass(a, t));
+  if (to < num_ranks_) {
+    productive_.set(to, productive_.get(to) + member_mass(a, t));
+  }
   slot_[a] = static_cast<u32>(t.size());
   t.push_back(static_cast<u32>(a));
   state_[a] = to;
+  const bool was_extra = from >= num_ranks_;
+  const bool is_extra = to >= num_ranks_;
+  if (has_extra_window_ && was_extra != is_extra) {
+    extra_mass_.set(a, is_extra ? kernel_->row_total(a) : 0);
+  }
 }
 
 void GroupedKernelSampler::fire(Protocol& p, u64 i, u64 j) {
@@ -277,6 +376,220 @@ void GroupedKernelSampler::fire(Protocol& p, u64 i, u64 j) {
   PP_DCHECK(ni != si || nj != sj);
   if (ni != si) move_agent(i, si, ni);
   if (nj != sj) move_agent(j, sj, nj);
+}
+
+// ---- TrapKernelSampler ----------------------------------------------------
+
+TrapKernelSampler::TrapKernelSampler(const Protocol& p, u64 power)
+    : p_(&p),
+      classes_(p.extra_pair_classes()),
+      num_ranks_(p.num_ranks()),
+      n_(p.num_agents()),
+      layout_(p.num_states()) {
+  PP_ASSERT_MSG(supports(p),
+                "the trap kernel sampler rides the same ExtraPairClasses "
+                "patterns as the grouped sampler");
+  PP_ASSERT_MSG(power >= 1 && power <= 3,
+                "trap-decay kernel power must be in 1..3");
+  const u64 traps = layout_.num_traps();
+  kval_.resize(traps / 2 + 1);
+  for (u64 d = 0; d < kval_.size(); ++d) {
+    const u64 base = traps / std::max<u64>(d, 1);
+    u64 v = 1;
+    for (u64 i = 0; i < power; ++i) v *= base;
+    kval_[d] = v;
+  }
+  k1_ = kval_[0];
+  // Every aggregate below is bounded by n² κ_max = n² κ(0); check once at
+  // construction that it fits the sampler's 63-bit range — the principled
+  // replacement for a blanket population cap.
+  PP_ASSERT_MSG(
+      static_cast<unsigned __int128>(n_) * n_ * k1_ <=
+          static_cast<unsigned __int128>(std::numeric_limits<i64>::max()),
+      "trap kernel weight total overflows the sampler's 63-bit range — "
+      "reduce n or the kernel power");
+  counts_ = p.counts();
+  trap_count_.assign(traps, 0);
+  trap_extra_.assign(traps, 0);
+  for (u64 s = 0; s < counts_.size(); ++s) {
+    trap_count_[layout_.trap_of(static_cast<StateId>(s))] += counts_[s];
+    if (s >= num_ranks_) {
+      trap_extra_[layout_.trap_of(static_cast<StateId>(s))] += counts_[s];
+      x_extra_ += counts_[s];
+    }
+  }
+  row_.assign(traps, 0);
+  extra_row_.assign(traps, 0);
+  for (u64 a = 0; a < traps; ++a) {
+    u64 r = 0;
+    u64 re = 0;
+    for (u64 b = 0; b < traps; ++b) {
+      r += trap_count_[b] * kval(a, b);
+      re += trap_extra_[b] * kval(a, b);
+    }
+    row_[a] = r;
+    extra_row_[a] = re;
+  }
+  for (u64 a = 0; a < traps; ++a) {
+    q_ += trap_count_[a] * row_[a];
+    ser_ += trap_extra_[a] * row_[a];
+  }
+  std::vector<u64> diag(num_ranks_, 0);
+  for (u64 s = 0; s < num_ranks_; ++s) {
+    const u64 c = counts_[s];
+    diag[s] = c < 2 ? 0 : c * (c - 1);
+  }
+  rank_diag_.assign(std::move(diag));
+}
+
+u64 TrapKernelSampler::weight_total() const {
+  // Q counts every ordered (agent, agent) pair including the n self
+  // pairs, each of which weighs exactly κ at distance 0.
+  return q_ - n_ * k1_;
+}
+
+u64 TrapKernelSampler::productive_total() const {
+  u64 t = k1_ * rank_diag_.total();
+  if (classes_.extra_extra || classes_.extra_rank || classes_.rank_extra) {
+    // Designated-endpoint collapse (same as the grouped sampler): each
+    // productive extra pair is counted once via its extra endpoint's row,
+    // minus the self pair every extra agent's row includes.
+    t += ser_ - k1_ * x_extra_;
+  }
+  return t;
+}
+
+u64 TrapKernelSampler::kappa(StateId s, StateId t) const {
+  return kval(layout_.trap_of(s), layout_.trap_of(t));
+}
+
+void TrapKernelSampler::apply_delta(StateId s, i64 delta) {
+  PP_DCHECK(delta == 1 || delta == -1);
+  const bool add = delta > 0;
+  const u64 star = layout_.trap_of(s);
+  const u64 traps = layout_.num_traps();
+  // ΔQ = 2δ R_old[A*] + κ(0); on removal add κ(0) first — Q_new ≥ 0
+  // guarantees the subtraction cannot underflow.
+  if (add) {
+    q_ += 2 * row_[star] + k1_;
+  } else {
+    q_ = q_ + k1_ - 2 * row_[star];
+  }
+  // SER's R-dependence: Σ_B E_B ΔR[B] = δ RE_old[A*].  On removal
+  // SER ≥ RE[A*] termwise (trap A* still holds the departing agent, so
+  // R[B] ≥ κ(B, A*) for every B).
+  if (add) {
+    ser_ += extra_row_[star];
+  } else {
+    ser_ -= extra_row_[star];
+  }
+  for (u64 b = 0; b < traps; ++b) {
+    if (add) {
+      row_[b] += kval(b, star);
+    } else {
+      row_[b] -= kval(b, star);
+    }
+  }
+  counts_[s] = add ? counts_[s] + 1 : counts_[s] - 1;
+  trap_count_[star] = add ? trap_count_[star] + 1 : trap_count_[star] - 1;
+  if (s < num_ranks_) {
+    const u64 c = counts_[s];
+    rank_diag_.set(s, c < 2 ? 0 : c * (c - 1));
+    return;
+  }
+  x_extra_ = add ? x_extra_ + 1 : x_extra_ - 1;
+  trap_extra_[star] = add ? trap_extra_[star] + 1 : trap_extra_[star] - 1;
+  for (u64 b = 0; b < traps; ++b) {
+    if (add) {
+      extra_row_[b] += kval(b, star);
+    } else {
+      extra_row_[b] -= kval(b, star);
+    }
+  }
+  // SER's E-dependence, with R already updated: δ R_new[A*].  On removal
+  // the agent still counted in E_old, so SER ≥ R_new[A*] here.
+  if (add) {
+    ser_ += row_[star];
+  } else {
+    ser_ -= row_[star];
+  }
+}
+
+void TrapKernelSampler::fire(Protocol& p, Rng& rng) {
+  PP_DCHECK(&p == p_);
+  const u64 rank_mass = k1_ * rank_diag_.total();
+  const u64 total = productive_total();
+  PP_DCHECK(total > 0);
+  const u64 pick = rng.below(total);
+  StateId si;
+  StateId sr;
+  if (pick < rank_mass) {
+    // Every same-state rank pair weighs exactly κ(0), so the diagonal
+    // Fenwick of ordered pair counts c(c-1) resolves the draw directly.
+    si = sr = static_cast<StateId>(rank_diag_.find(pick / k1_));
+  } else {
+    // Extra window.  First the extra *state* holding the designated
+    // endpoint: each of its c_s agents carries mass R[trap(s)] - κ(0)
+    // (its full row minus the self pair).
+    u64 u = pick - rank_mass;
+    StateId b = kNoState;
+    for (u64 s = num_ranks_; s < counts_.size(); ++s) {
+      const u64 mass =
+          counts_[s] * (row_[layout_.trap_of(static_cast<StateId>(s))] - k1_);
+      if (u < mass) {
+        b = static_cast<StateId>(s);
+        break;
+      }
+      u -= mass;
+    }
+    PP_ASSERT_MSG(b != kNoState,
+                  "trap sampler extra mass out of sync with its counts");
+    const u64 trap_b = layout_.trap_of(b);
+    // Agents in state b are interchangeable; the row offset alone picks
+    // the partner.  Scan traps (κ is constant within a trap), then the
+    // trap's contiguous states, excluding the endpoint agent itself.
+    u64 rem = u % (row_[trap_b] - k1_);
+    StateId partner = kNoState;
+    for (u64 a = 0; a < layout_.num_traps(); ++a) {
+      const u64 kv = kval(trap_b, a);
+      const u64 agents = trap_count_[a] - (a == trap_b ? u64{1} : u64{0});
+      const u64 mass = kv * agents;
+      if (rem >= mass) {
+        rem -= mass;
+        continue;
+      }
+      u64 idx = rem / kv;
+      for (u64 v = layout_.trap_offset(a);; ++v) {
+        const u64 c =
+            counts_[v] - (static_cast<StateId>(v) == b ? u64{1} : u64{0});
+        if (idx < c) {
+          partner = static_cast<StateId>(v);
+          break;
+        }
+        idx -= c;
+      }
+      break;
+    }
+    PP_ASSERT_MSG(partner != kNoState,
+                  "trap sampler row mass out of sync with its traps");
+    if (classes_.rank_extra) {
+      si = partner;
+      sr = b;
+    } else {
+      si = b;
+      sr = partner;
+    }
+  }
+  const auto [a1, a2] = p.apply_pair(si, sr);
+  PP_DCHECK(a1 != si || a2 != sr);
+  if (a1 != si) {
+    apply_delta(si, -1);
+    apply_delta(a1, +1);
+  }
+  if (a2 != sr) {
+    apply_delta(sr, -1);
+    apply_delta(a2, +1);
+  }
 }
 
 // ---- DirectedPairRoster ---------------------------------------------------

@@ -39,18 +39,24 @@
 //     held in closed form: O(n) prefix tables, O(log n) weighted pair
 //     sampling, u64-overflow-checked totals.  The weight function is
 //     *evaluated*, never materialised.
-//   * GroupedKernelSampler — the two-level productive sampler for
-//     protocols whose productive pairs are exactly the same-state pairs
-//     (every extra-state-free protocol in this library): a top-level
-//     Fenwick over per-state within-group kernel mass, partners resolved
-//     inside the (small) group.  O(n) memory, O(log n + group²) sampling,
-//     O(group) weight update per state change — against the dense path's
-//     Θ(n²) memory and Θ(n log n) update.
+//   * GroupedKernelSampler — the two-level productive sampler: same-state
+//     rank pairs resolve through a top-level Fenwick over per-state
+//     within-group kernel mass with partners found inside the (small)
+//     group, and extra-state pairs through per-agent kernel-row masses
+//     driven by the protocol's declared ExtraPairClasses (every library
+//     protocol qualifies).  O(n) memory, O(log n + group²) sampling,
+//     O(group + log n) weight update per state change — against the dense
+//     path's Θ(n²) memory and Θ(n log n) update.
+//   * TrapKernelSampler — the state-distance spatial sampler behind
+//     weighted[trap-decay]: product weights κ(state, state) over
+//     ring_layout trap distance, run entirely on per-trap count
+//     aggregates (O(states) memory, O(√states + log states) per event).
 //   * DirectedPairRoster — a compacting weight-1 PairSampler window for
 //     rosters that grow and shrink (the edge-Markovian present set):
 //     memory tracks the *live* edge count, not the pair universe.
 #pragma once
 
+#include <algorithm>
 #include <utility>
 #include <vector>
 
@@ -59,6 +65,7 @@
 #include "ds/fenwick.hpp"
 #include "rng/random.hpp"
 #include "structures/interaction_graph.hpp"
+#include "structures/ring_layout.hpp"
 
 namespace pp {
 
@@ -240,6 +247,13 @@ class DistanceKernel {
   /// Samples j with probability w(i, j) / row_total(i).
   u64 sample_partner(Rng& rng, u64 i) const;
 
+  /// Deterministic partner resolution: the j whose row slot contains
+  /// `target` (in [0, row_total(i))) under the fixed clockwise-arm-first
+  /// (ring) / left-first (line) row order sample_partner draws from.
+  /// Callers that already hold a uniform target (the grouped sampler's
+  /// extra-class window) invert the row CDF without spending a draw.
+  u64 partner_at(u64 i, u64 target) const;
+
   /// Number of u64 slots held — tests pin this at O(n) to prove the
   /// hierarchical path never re-grows a dense pair universe.
   u64 memory_slots() const { return prefix_.size() + row_prefix_.size(); }
@@ -262,12 +276,22 @@ class DistanceKernel {
 /// kernel mass, level two resolves the pair inside the (small) group of
 /// agents currently sharing that state.
 ///
-/// Scope: protocols whose productive pairs are exactly the same-state
-/// pairs — equivalently, num_extra_states() == 0 under this library's
-/// protocol backbone (every rank state carries a same-state rule that
-/// changes the configuration, and distinct-rank pairs are null).  The
-/// constructor enforces the extra-state half; protocols with extra states
-/// take the dense reference path instead.
+/// Scope.  The rank-state half rides this library's protocol backbone
+/// (every rank state carries a same-state rule that changes the
+/// configuration, and distinct-rank pairs are null).  Extra states ride
+/// the protocol's Protocol::ExtraPairClasses declaration: the supported
+/// patterns are "no extra pair productive" (extra-state-free protocols,
+/// inert extras) and "all (extra, extra) pairs plus exactly one
+/// orientation of cross pairs productive" — line-of-traps (every pair
+/// with an X *responder* fires) and tree-ranking (every pair with a
+/// buffer *initiator* fires).  For those patterns the productive extra
+/// mass collapses to Σ over extra-state agents b of the kernel row total
+/// of b — a per-position Fenwick updated in O(log n) per membership
+/// change, with the partner drawn unconditionally from b's kernel row
+/// (any partner forms a productive pair).  supports() reports whether a
+/// protocol's declared pattern fits; the declaration itself is
+/// cross-checked against transition() on a bounded probe set at
+/// construction.  Unsupported patterns take the dense reference path.
 ///
 /// Costs, with g the size of the groups touched (O(log n / log log n)
 /// under a uniform random placement):  O(n) memory, O(log n + g²) per
@@ -281,12 +305,19 @@ class GroupedKernelSampler {
   GroupedKernelSampler(const DistanceKernel& kernel, const Protocol& p,
                        std::vector<StateId> placement);
 
+  /// Whether this sampler can represent p's productive-pair structure:
+  /// true for extra-state-free protocols and for declared extra-pair
+  /// patterns where the extra mass is a sum of full kernel rows (all
+  /// (extra, extra) pairs productive together with exactly one cross
+  /// orientation, or no extra pair productive at all).
+  static bool supports(const Protocol& p);
+
   u64 weight_total() const { return kernel_->total(); }
-  u64 productive_total() const { return productive_.total(); }
+  u64 productive_total() const { return productive_.total() + extra_total(); }
 
   /// Per-step probability that a weight-proportional draw is productive.
   double productive_probability() const {
-    return static_cast<double>(productive_.total()) /
+    return static_cast<double>(productive_total()) /
            static_cast<double>(kernel_->total());
   }
 
@@ -302,22 +333,127 @@ class GroupedKernelSampler {
   const std::vector<StateId>& states() const { return state_; }
 
   /// Within-group ordered kernel mass of state s (exposed for the
-  /// dense-vs-hierarchical cross-validation tests).
+  /// dense-vs-hierarchical cross-validation tests).  Rank states only;
+  /// extra-state pairs live in the extra-class window.
   u64 group_mass(StateId s) const { return productive_.get(s); }
+
+  /// Total extra-class productive mass (Σ of kernel row totals over the
+  /// extra-state agents; 0 when no extra class is productive).  Exposed
+  /// for the cross-validation tests.
+  u64 extra_total() const {
+    return has_extra_window_ ? extra_mass_.total() : 0;
+  }
 
  private:
   /// Σ over members x of group (excluding position a itself, if present)
   /// of w(a, x) + w(x, a) — the ordered mass position a contributes.
   u64 member_mass(u64 a, const std::vector<u32>& group) const;
 
+  /// Asserts the declared ExtraPairClasses (and the backbone's rank-pair
+  /// structure) against transition() on a bounded probe set.
+  void verify_classes() const;
+
   void move_agent(u64 a, StateId from, StateId to);
 
   const DistanceKernel* kernel_;
   const Protocol* p_;
+  Protocol::ExtraPairClasses classes_;
+  u64 num_ranks_ = 0;
+  bool has_extra_window_ = false;  // any extra class productive
   std::vector<StateId> state_;            // per position
   std::vector<std::vector<u32>> group_;   // per state: member positions
   std::vector<u32> slot_;                 // position -> index in its group
-  Fenwick productive_;                    // per state: within-group mass
+  Fenwick productive_;    // per rank state: within-group mass
+  Fenwick extra_mass_;    // per position: kernel row total iff extra agent
+};
+
+/// The state-distance spatial sampler behind weighted[trap-decay]: pair
+/// weights are a *product kernel* over states, w(pair) = κ(s, t) for an
+/// agent in state s meeting an agent in state t, with κ(s, t) =
+/// ⌊T/max(d, 1)⌋^power over the ring distance d between the traps of s
+/// and t in the structures/ring_layout geometry (T traps ≈ √states laid
+/// over ALL states, extras included).  Unlike the positional
+/// DistanceKernel models, the weight of a pair *moves with the agents'
+/// states* — spatially embedded populations where locality lives in the
+/// state space itself — so there is no meaningful positional dense
+/// reference; tests cross-validate against a direct Θ(states²)
+/// enumeration over the count vector instead.
+///
+/// Agents are anonymous here (the kernel cannot distinguish two agents in
+/// the same state), so the whole sampler runs on per-trap aggregates of
+/// the count vector: per-trap agent/extra-agent counts, the per-trap row
+/// sums R[A] = Σ_B n_B κ(A, B), the quadratic form Q = Σ_A n_A R[A] and
+/// the extra-row sum Σ extra agents' rows — every total exact, so the
+/// accelerated geometric null-skipping construction carries over.  Per
+/// productive event: O(√states) for the trap scans plus O(log states)
+/// Fenwick work; memory O(states).  Extra-state productivity rides the
+/// same Protocol::ExtraPairClasses patterns GroupedKernelSampler
+/// supports.
+class TrapKernelSampler {
+ public:
+  /// Builds from p's current configuration; `power` in {1, 2, 3}.
+  TrapKernelSampler(const Protocol& p, u64 power);
+
+  /// Same supported class patterns as the grouped sampler.
+  static bool supports(const Protocol& p) {
+    return GroupedKernelSampler::supports(p);
+  }
+
+  /// Total scheduling weight over all ordered pairs of distinct agents.
+  u64 weight_total() const;
+  /// Total scheduling weight of the productive ordered pairs.
+  u64 productive_total() const;
+
+  double productive_probability() const {
+    return static_cast<double>(productive_total()) /
+           static_cast<double>(weight_total());
+  }
+
+  /// Samples a productive ordered state pair κ-proportionally, applies it
+  /// through p.apply_pair and folds the count deltas back in.
+  /// Precondition: productive_total() > 0.
+  void fire(Protocol& p, Rng& rng);
+
+  /// Kernel value κ(s, t) — also defined on the diagonal (κ(s, s) is the
+  /// weight of a same-state pair).  Exposed for the direct-enumeration
+  /// cross-validation tests.
+  u64 kappa(StateId s, StateId t) const;
+
+  u64 num_traps() const { return layout_.num_traps(); }
+
+  /// Number of u64 slots held — tests pin this at O(states).
+  u64 memory_slots() const {
+    return kval_.size() + trap_count_.size() + trap_extra_.size() +
+           row_.size() + extra_row_.size() + counts_.size();
+  }
+
+ private:
+  /// Trap-distance kernel value for trap ring distance d.
+  u64 kval(u64 a, u64 b) const {
+    const u64 gap = a > b ? a - b : b - a;
+    return kval_[std::min(gap, layout_.num_traps() - gap)];
+  }
+
+  /// Folds one count change (state s gains `delta` ∈ {-1, +1} agents)
+  /// into every aggregate; O(√states).
+  void apply_delta(StateId s, i64 delta);
+
+  const Protocol* p_;
+  Protocol::ExtraPairClasses classes_;
+  u64 num_ranks_ = 0;
+  u64 n_ = 0;
+  u64 k1_ = 0;  // κ at trap distance 0 or 1 (= T^power)
+  RingLayout layout_;
+  std::vector<u64> kval_;        // kernel value per trap ring distance
+  std::vector<u64> counts_;      // mirror of p's count vector
+  std::vector<u64> trap_count_;  // agents per trap
+  std::vector<u64> trap_extra_;  // extra-state agents per trap
+  std::vector<u64> row_;         // R[A] = Σ_B n_B κ(A, B)
+  std::vector<u64> extra_row_;   // RE[A] = Σ_B E_B κ(A, B)
+  u64 q_ = 0;                    // Σ_A n_A R[A] (incl. self pairs)
+  u64 ser_ = 0;                  // Σ_A E_A R[A]
+  u64 x_extra_ = 0;              // total extra-state agents
+  Fenwick rank_diag_;            // per rank state: c(c-1)
 };
 
 /// A compacting window over PairSampler for entry sets that grow and

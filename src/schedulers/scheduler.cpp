@@ -66,6 +66,8 @@ const char* weight_kernel_name(WeightKernel k) {
       return "ring-decay";
     case WeightKernel::kLineDecay:
       return "line-decay";
+    case WeightKernel::kTrapDecay:
+      return "trap-decay";
   }
   return "?";
 }
@@ -126,7 +128,9 @@ std::vector<SchedulerSpec> standard_scheduler_menu() {
   s.kind = SchedulerKind::kWeighted;
   s.kernel = WeightKernel::kUniform;  // sanity anchor: must match uniform
   menu.push_back(s);
-  s.kernel = WeightKernel::kRingDecay;  // the spatial model
+  s.kernel = WeightKernel::kRingDecay;  // the positional spatial model
+  menu.push_back(s);
+  s.kernel = WeightKernel::kTrapDecay;  // the state-space spatial model
   menu.push_back(s);
   s = SchedulerSpec{};
   s.kind = SchedulerKind::kChurn;
@@ -206,6 +210,13 @@ std::vector<SchedulerSpec> all_scheduler_specs() {
   s.dynamics = GraphDynamics::kEdgeMarkovian;
   s.dense_reference = true;
   specs.push_back(s);
+  // The churn copy-and-rebuild fault path: same role — the transparent
+  // O(n)-per-fault implementation the move_agent fast path is pinned
+  // bit-identical against.
+  s = SchedulerSpec{};
+  s.kind = SchedulerKind::kChurn;
+  s.dense_reference = true;
+  specs.push_back(s);
   return specs;
 }
 
@@ -271,6 +282,7 @@ std::string SchedulerSpec::to_string() const {
       if (churn_faults != 1) out += "x" + std::to_string(churn_faults);
       out += std::string("/") + churn_reset_name(churn_reset);
       if (churn_active != 0) out += "/a" + std::to_string(churn_active);
+      if (dense_reference) out += "/dense-ref";
       out += "]";
       return out;
     }
@@ -321,10 +333,9 @@ SchedulerPtr make_scheduler(const SchedulerSpec& spec, u64 n) {
     case SchedulerKind::kAdversarial:
       return std::make_unique<AdversarialScheduler>(spec.adversary);
     case SchedulerKind::kChurn:
-      return std::make_unique<ChurnScheduler>(spec.churn_rate,
-                                              spec.churn_faults,
-                                              spec.churn_active,
-                                              spec.churn_reset);
+      return std::make_unique<ChurnScheduler>(
+          spec.churn_rate, spec.churn_faults, spec.churn_active,
+          spec.churn_reset, spec.dense_reference);
     case SchedulerKind::kPartition:
       return std::make_unique<PartitionScheduler>(
           spec.partition_blocks, spec.partition_split, spec.partition_heal,

@@ -171,6 +171,13 @@ enum class WeightKernel {
   kUniform,    ///< w = 1 for every ordered pair (the paper's model)
   kRingDecay,  ///< positions on a ring; w = floor(n / d)^power
   kLineDecay,  ///< positions on a line; w = floor(n / d)^power
+  kTrapDecay,  ///< *state*-distance kernel: w = floor(T / d)^power over the
+               ///< ring distance d between the traps of the two agents'
+               ///< states in the structures/ring_layout geometry (T ≈
+               ///< √states traps) — locality lives in the state space, so
+               ///< pair weights move with the agents; no positional dense
+               ///< reference exists (tests cross-validate by direct
+               ///< enumeration over the count vector)
 };
 
 const char* weight_kernel_name(WeightKernel k);
@@ -214,12 +221,16 @@ struct SchedulerSpec {
   WeightKernel kernel = WeightKernel::kUniform;
   u64 kernel_power = 1;
 
-  /// kWeighted and kDynamicGraph (edge-Markovian only): route pair
-  /// selection through the dense Θ(n²) reference implementation instead
-  /// of the default sparse/hierarchical sampler.  The dense paths cap n
-  /// at 4096; they exist so the cross-validation tests (and any
-  /// sceptical caller) can pin the scalable paths against the
-  /// transparent ones.  Encoded as "/dense-ref" in the display name.
+  /// kWeighted, kDynamicGraph (edge-Markovian) and kChurn: route the
+  /// model through its transparent reference implementation instead of
+  /// the default scalable path — the dense Θ(n²) pair universe for
+  /// weighted/dynamic (capped at n = 4096), the copy-configuration-and-
+  /// rebuild fault path for churn (O(n) per fault instead of the
+  /// move_agent fast path's O(k log n)).  These exist so the
+  /// cross-validation tests (and any sceptical caller) can pin the
+  /// scalable paths against the transparent ones.  Encoded as
+  /// "/dense-ref" in the display name.  Not meaningful for
+  /// kTrapDecay-kernel weighted runs (no positional reference exists).
   bool dense_reference = false;
 
   /// kDynamicGraph only: evolution policy and its knobs.  Edge-Markovian:
@@ -264,8 +275,9 @@ SchedulerPtr make_scheduler(const SchedulerSpec& spec, u64 n);
 /// The standard comparison menu (bench_scheduler_comparison and
 /// examples/scheduler_tour share it): accelerated-uniform, uniform, the
 /// hybrid multiscale driver (right after the exact engines it must match),
-/// random-matching, weighted on the uniform and ring-decay kernels, the
-/// hostile-environment models (churn, partition), graph-restricted on
+/// random-matching, weighted on the uniform, ring-decay and trap-decay
+/// kernels, the hostile-environment models (churn, partition),
+/// graph-restricted on
 /// complete, random-4-regular and cycle — complete mixing first, sparsest
 /// last — and finally the headline contrast: the same cycle under
 /// edge-Markovian and periodic-rewiring dynamics.  The adversarial

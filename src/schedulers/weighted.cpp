@@ -53,6 +53,21 @@ WeightedScheduler::WeightedScheduler(WeightKernel kernel, u64 power, u64 n,
     : kernel_(kernel), power_(power), n_(n), path_(path) {
   PP_ASSERT_MSG(power >= 1 && power <= 3,
                 "weighted scheduler needs kernel power in {1, 2, 3}");
+  if (kernel_ == WeightKernel::kTrapDecay) {
+    // The state-distance kernel is agent-anonymous: there is no positional
+    // DistanceKernel to pin (the sampler is built per run from the
+    // protocol's state space) and no dense pair universe to fall back to.
+    PP_ASSERT_MSG(path_ != Path::kDense,
+                  "the trap-decay kernel has no positional dense reference "
+                  "(weights live on states, not positions); tests "
+                  "cross-validate it by direct enumeration instead");
+    SchedulerSpec spec;
+    spec.kind = SchedulerKind::kWeighted;
+    spec.kernel = kernel_;
+    spec.kernel_power = power_;
+    name_ = spec.to_string();
+    return;
+  }
   if (n_ != 0) {
     PP_ASSERT_MSG(n_ >= 2, "weighted scheduler needs n >= 2");
     // Pin the closed-form kernel for every trial of a sweep (O(n) memory;
@@ -82,6 +97,8 @@ WeightedScheduler::WeightedScheduler(WeightKernel kernel, u64 power, u64 n,
 }
 
 std::vector<u64> WeightedScheduler::kernel_table(u64 n) const {
+  PP_ASSERT_MSG(kernel_ != WeightKernel::kTrapDecay,
+                "trap-decay weights are state-distance, not positional");
   std::vector<u64> weights(n * n, 0);
   for (u64 i = 0; i < n; ++i) {
     for (u64 j = 0; j < n; ++j) {
@@ -106,6 +123,10 @@ u64 WeightedScheduler::pair_weight(u64 n, u64 i, u64 j) const {
     case WeightKernel::kLineDecay:
       base = n / (i > j ? i - j : j - i);
       break;
+    case WeightKernel::kTrapDecay:
+      PP_ASSERT_MSG(false,
+                    "trap-decay weights are state-distance, not positional");
+      break;
   }
   u64 w = 1;
   for (u64 k = 0; k < power_; ++k) w *= base;
@@ -113,6 +134,8 @@ u64 WeightedScheduler::pair_weight(u64 n, u64 i, u64 j) const {
 }
 
 DistanceKernel WeightedScheduler::distance_kernel(u64 n) const {
+  PP_ASSERT_MSG(kernel_ != WeightKernel::kTrapDecay,
+                "trap-decay weights are state-distance, not positional");
   const auto geometry = kernel_ == WeightKernel::kRingDecay
                             ? DistanceKernel::Geometry::kRing
                             : DistanceKernel::Geometry::kLine;
@@ -134,8 +157,15 @@ RunResult WeightedScheduler::run(Protocol& p, Rng& rng,
   PP_ASSERT_MSG(n >= 2, "weighted scheduler needs n >= 2");
   PP_ASSERT_MSG(n_ == 0 || n_ == n,
                 "weighted scheduler built for a different population size");
-  const bool dense = path_ == Path::kDense ||
-                     (path_ == Path::kAuto && p.num_extra_states() != 0);
+  if (kernel_ == WeightKernel::kTrapDecay) return run_trap(p, rng, opt);
+  // kAuto prefers the hierarchical path whenever the grouped sampler can
+  // represent the protocol's productive-pair structure — which it can for
+  // every library protocol, extra states included; the dense Θ(n²)
+  // reference survives for explicit /dense-ref specs and undeclared
+  // extra-pair patterns.
+  const bool dense =
+      path_ == Path::kDense ||
+      (path_ == Path::kAuto && !GroupedKernelSampler::supports(p));
   return dense ? run_dense(p, rng, opt) : run_hierarchical(p, rng, opt);
 }
 
@@ -144,8 +174,8 @@ RunResult WeightedScheduler::run_dense(Protocol& p, Rng& rng,
   const u64 n = p.num_agents();
   PP_ASSERT_MSG(n <= kDenseMaxPopulation,
                 "the dense reference path caps n at 4096 (dense pair "
-                "universe); extra-state protocols need it — see "
-                "schedulers/weighted.hpp");
+                "universe); use the hierarchical path for larger "
+                "populations — see schedulers/weighted.hpp");
   std::vector<StateId> placement = p.configuration().to_agent_states();
   rng.shuffle(placement);
   // The placement-independent kernel table is shared by every trial when
@@ -207,6 +237,31 @@ RunResult WeightedScheduler::run_hierarchical(Protocol& p, Rng& rng,
     }
     const auto [i, j] = gs.sample_productive(rng);
     gs.fire(p, i, j);
+    ++r.productive_steps;
+    if (opt.on_change && !opt.on_change(p, r.interactions)) {
+      r.aborted = true;
+      break;
+    }
+  }
+  return detail::finish_run(
+      p, r, static_cast<double>(r.interactions) / static_cast<double>(n));
+}
+
+RunResult WeightedScheduler::run_trap(Protocol& p, Rng& rng,
+                                      const RunOptions& opt) const {
+  const u64 n = p.num_agents();
+  // Agents are anonymous under a state-distance kernel, so there is no
+  // placement to shuffle: the sampler runs straight off the protocol's
+  // count vector.
+  TrapKernelSampler ts(p, power_);
+
+  RunResult r;
+  while (ts.productive_total() != 0) {
+    if (!advance_past_nulls(rng, ts.productive_probability(),
+                            opt.max_interactions, r.interactions)) {
+      break;
+    }
+    ts.fire(p, rng);
     ++r.productive_steps;
     if (opt.on_change && !opt.on_change(p, r.interactions)) {
       r.aborted = true;

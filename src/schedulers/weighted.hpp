@@ -21,6 +21,15 @@
 //                structures/line_layout): d(i, j) = |i-j|, same harmonic
 //                kernel — adds the boundary asymmetry a ring lacks.
 //
+// A fourth kernel moves the geometry from positions into the *state
+// space* itself:
+//
+//   trap-decay   no positions at all: an agent in state s meeting an agent
+//                in state t weighs floor(T/d)^power, d the ring distance
+//                between the traps of s and t in the structures/ring_layout
+//                geometry (T ≈ √states traps over all states) — so pair
+//                weights move with the agents as they change state.
+//
 // Pair selection runs on the hierarchical sampler layer
 // (schedulers/pair_sampler.hpp) by default: the translation-invariant
 // kernel is held in closed form (DistanceKernel, O(n) memory) and the
@@ -29,12 +38,17 @@
 // O(group + log n) per state change, exact totals, so the accelerated
 // uniform engine's geometric null-skipping carries over at any n whose
 // kernel total fits the sampler's 63-bit range (n ~ 10^6 for the harmonic
-// kernels at power 1).  Protocols with extra states (whose productive
-// pairs are not all same-state) and callers that ask for it explicitly
-// (SchedulerSpec::dense_reference) instead take the dense Θ(n²) reference
-// path over all n(n-1) ordered pairs — the transparent implementation the
+// kernels at power 1).  Protocols with extra states ride the same path
+// through their declared Protocol::ExtraPairClasses (every library
+// protocol qualifies — see GroupedKernelSampler::supports); only
+// undeclared/unsupported patterns and callers that ask for it explicitly
+// (SchedulerSpec::dense_reference) take the dense Θ(n²) reference path
+// over all n(n-1) ordered pairs — the transparent implementation the
 // cross-validation tests pin the hierarchical path against; it keeps a
-// population guard at n <= kDenseMaxPopulation.
+// population guard at n <= kDenseMaxPopulation.  The trap-decay kernel is
+// agent-anonymous and runs entirely on TrapKernelSampler's per-trap count
+// aggregates (O(√states + log states) per event); it has no positional
+// dense path at all.
 //
 // Because every kernel here assigns positive weight to every pair, a
 // weighted run can never get locally stuck: it ends at true silence,
@@ -53,10 +67,12 @@ namespace pp {
 
 class WeightedScheduler final : public Scheduler {
  public:
-  /// Which pair-selection machinery run() uses.
+  /// Which pair-selection machinery run() uses (positional kernels only;
+  /// trap-decay always runs on TrapKernelSampler).
   enum class Path {
-    kAuto,          ///< hierarchical when the protocol has no extra states,
-                    ///< dense otherwise
+    kAuto,          ///< hierarchical when GroupedKernelSampler::supports
+                    ///< the protocol (every library protocol), dense
+                    ///< otherwise
     kHierarchical,  ///< force the sparse two-level sampler
     kDense,         ///< force the dense Θ(n²) reference universe
   };
@@ -86,21 +102,26 @@ class WeightedScheduler final : public Scheduler {
   Path path() const { return path_; }
 
   /// The kernel weight of ordered pair (i, j) in a population of n;
-  /// exposed for tests.  Requires i != j.
+  /// exposed for tests.  Requires i != j.  Positional kernels only (the
+  /// trap-decay weight is a function of states, not positions — see
+  /// TrapKernelSampler::kappa).
   u64 pair_weight(u64 n, u64 i, u64 j) const;
 
   /// The full dense table: kernel weight at id i * n + j, 0 on the
-  /// diagonal.  Θ(n²) — the dense reference path's universe.
+  /// diagonal.  Θ(n²) — the dense reference path's universe.  Positional
+  /// kernels only.
   std::vector<u64> kernel_table(u64 n) const;
 
   /// The closed-form view of the same kernel (the hierarchical path's top
   /// level); exposed for tests and for the memory-shape assertions.
+  /// Positional kernels only.
   DistanceKernel distance_kernel(u64 n) const;
 
  private:
   RunResult run_dense(Protocol& p, Rng& rng, const RunOptions& opt) const;
   RunResult run_hierarchical(Protocol& p, Rng& rng,
                              const RunOptions& opt) const;
+  RunResult run_trap(Protocol& p, Rng& rng, const RunOptions& opt) const;
 
   WeightKernel kernel_;
   u64 power_;

@@ -192,11 +192,263 @@ TEST(GroupedKernelSampler, ProductiveSamplingMatchesDenseDistribution) {
   EXPECT_LT(std::fabs(chi2_z(x2, df)), 6.0) << "x2=" << x2 << " df=" << df;
 }
 
+// ---- extra-state protocols on the grouped sampler -------------------------
+
+TEST(ExtraStateGrouped, ProductiveMassMatchesDenseScanExactly) {
+  // The tentpole claim of the extra-class window: for line-of-traps (every
+  // pair with an X responder fires) and tree-ranking (every pair with a
+  // buffer initiator fires), the grouped sampler's split totals — rank
+  // group mass plus Σ of kernel row totals over extra agents — must equal
+  // the dense pair-by-pair productive scan to the unit, on live mid-run
+  // configurations.
+  for (const std::string name : {"line-of-traps", "tree-ranking"}) {
+    const u64 n = preferred_population(name, 72);
+    const WeightedScheduler sched(WeightKernel::kRingDecay);
+    const DistanceKernel k = sched.distance_kernel(n);
+    ProtocolPtr p = make_protocol(name, n);
+    Rng rng(78);
+    p->reset(initial::uniform_random(*p, rng));
+    std::vector<StateId> placement = p->configuration().to_agent_states();
+    rng.shuffle(placement);
+    GroupedKernelSampler gs(k, *p, placement);
+    const u64 ranks = p->num_ranks();
+
+    for (int round = 0; round < 30; ++round) {
+      u64 dense_rank = 0, dense_extra = 0;
+      const std::vector<StateId>& s = gs.states();
+      for (u64 i = 0; i < n; ++i) {
+        for (u64 j = 0; j < n; ++j) {
+          if (i == j || !pair_is_productive(*p, s[i], s[j])) continue;
+          if (s[i] >= ranks || s[j] >= ranks) {
+            dense_extra += k.weight(i, j);
+          } else {
+            dense_rank += k.weight(i, j);
+          }
+        }
+      }
+      ASSERT_EQ(gs.extra_total(), dense_extra) << name << " round " << round;
+      ASSERT_EQ(gs.productive_total(), dense_rank + dense_extra)
+          << name << " round " << round;
+      if (gs.productive_total() == 0) break;
+      const auto [i, j] = gs.sample_productive(rng);
+      gs.fire(*p, i, j);
+    }
+  }
+}
+
+TEST(ExtraStateGrouped, ProductiveSamplingMatchesDenseDistribution) {
+  // Chi-squared goodness of fit of sample_productive against the dense
+  // enumeration of w * productive, for both extra-state protocols under
+  // ring-decay.  Thin cells (extra-state pairs spread mass over many
+  // ordered pairs) are pooled to keep the approximation honest.
+  for (const std::string name : {"line-of-traps", "tree-ranking"}) {
+    const u64 n = preferred_population(name, 72);
+    const WeightedScheduler sched(WeightKernel::kRingDecay);
+    const DistanceKernel k = sched.distance_kernel(n);
+    ProtocolPtr p = make_protocol(name, n);
+    Rng rng(5678);
+    p->reset(initial::uniform_random(*p, rng));
+    std::vector<StateId> placement = p->configuration().to_agent_states();
+    rng.shuffle(placement);
+    GroupedKernelSampler gs(k, *p, placement);
+    ASSERT_GT(gs.productive_total(), 0u) << name;
+
+    std::map<std::pair<u64, u64>, double> expected;
+    const std::vector<StateId>& s = gs.states();
+    for (u64 i = 0; i < n; ++i) {
+      for (u64 j = 0; j < n; ++j) {
+        if (i != j && pair_is_productive(*p, s[i], s[j])) {
+          expected[{i, j}] = static_cast<double>(k.weight(i, j));
+        }
+      }
+    }
+    const double total = static_cast<double>(gs.productive_total());
+
+    const u64 kSamples = 60000;
+    std::map<std::pair<u64, u64>, u64> hits;
+    for (u64 t = 0; t < kSamples; ++t) {
+      const auto pair = gs.sample_productive(rng);
+      ASSERT_NE(expected.find(pair), expected.end())
+          << name << ": sampled an unproductive pair (" << pair.first << ","
+          << pair.second << ")";
+      ++hits[pair];
+    }
+    double x2 = 0;
+    double cells = 0;
+    double pooled_e = 0;
+    u64 pooled_h = 0;
+    for (const auto& [pair, w] : expected) {
+      const double e = static_cast<double>(kSamples) * w / total;
+      if (e < 5.0) {
+        pooled_e += e;
+        pooled_h += hits[pair];
+        continue;
+      }
+      const double d = static_cast<double>(hits[pair]) - e;
+      x2 += d * d / e;
+      cells += 1;
+    }
+    if (pooled_e > 0) {
+      const double d = static_cast<double>(pooled_h) - pooled_e;
+      x2 += d * d / pooled_e;
+      cells += 1;
+    }
+    ASSERT_GT(cells, 1) << name;
+    EXPECT_LT(std::fabs(chi2_z(x2, cells - 1)), 6.0)
+        << name << " x2=" << x2 << " cells=" << cells;
+  }
+}
+
+// ---- TrapKernelSampler vs direct enumeration over the count vector --------
+
+TEST(TrapKernelSampler, MassesMatchDirectEnumerationOnLiveConfigs) {
+  // No positional dense reference exists for a state-distance kernel, so
+  // the ground truth is the direct Θ(states²) quadratic form over the
+  // count vector: Σ c_s (c_t - [s == t]) κ(s, t), masked to the
+  // productive pairs for the productive total.  Both totals must agree to
+  // the unit on live configurations as events fire.
+  for (const std::string name : {"ag", "line-of-traps", "tree-ranking"}) {
+    for (const u64 power : {u64{1}, u64{2}}) {
+      const u64 n = preferred_population(name, 72);
+      ProtocolPtr p = make_protocol(name, n);
+      Rng rng(81 + power);
+      p->reset(initial::uniform_random(*p, rng));
+      TrapKernelSampler ts(*p, power);
+      const u64 states = p->num_states();
+
+      for (int round = 0; round < 25; ++round) {
+        u64 weight = 0, productive = 0;
+        const std::vector<u64>& c = p->counts();
+        for (StateId s = 0; s < states; ++s) {
+          if (c[s] == 0) continue;
+          for (StateId t = 0; t < states; ++t) {
+            const u64 pairs = c[s] * (c[t] - (s == t ? u64{1} : u64{0}));
+            if (pairs == 0) continue;
+            const u64 mass = pairs * ts.kappa(s, t);
+            weight += mass;
+            if (pair_is_productive(*p, s, t)) productive += mass;
+          }
+        }
+        ASSERT_EQ(ts.weight_total(), weight)
+            << name << "^" << power << " round " << round;
+        ASSERT_EQ(ts.productive_total(), productive)
+            << name << "^" << power << " round " << round;
+        if (ts.productive_total() == 0) break;
+        ts.fire(*p, rng);
+      }
+    }
+  }
+}
+
+// Serialises the nonzero per-state count deltas of one event, ascending by
+// state — the observable footprint of which state pair fired (the same
+// binning idea as first_fire_bin below, but computable on both the
+// sampled and the enumerated side).
+std::string count_delta_bin(const std::vector<u64>& before,
+                            const std::vector<u64>& after) {
+  std::string bin;
+  for (u64 s = 0; s < before.size(); ++s) {
+    const i64 d =
+        static_cast<i64>(after[s]) - static_cast<i64>(before[s]);
+    if (d != 0) bin += std::to_string(s) + ":" + std::to_string(d) + ";";
+  }
+  return bin;
+}
+
+std::string pair_delta_bin(StateId s, StateId t,
+                           std::pair<StateId, StateId> out) {
+  std::map<u64, i64> d;
+  --d[s];
+  --d[t];
+  ++d[out.first];
+  ++d[out.second];
+  std::string bin;
+  for (const auto& [state, dd] : d) {
+    if (dd != 0) bin += std::to_string(state) + ":" + std::to_string(dd) + ";";
+  }
+  return bin;
+}
+
+TEST(TrapKernelSampler, FiredPairMatchesDirectEnumeration) {
+  // Chi-squared goodness of fit of the pair fire() selects against the
+  // exact κ-proportional distribution, binned by count-delta footprint
+  // (fire applies the pair, so each draw rebuilds the sampler on a reset
+  // copy of the same configuration — construction is O(states), cheap).
+  for (const std::string name : {"line-of-traps", "tree-ranking"}) {
+    const u64 n = preferred_population(name, 72);
+    ProtocolPtr p = make_protocol(name, n);
+    Rng rng(91);
+    p->reset(initial::uniform_random(*p, rng));
+    const Configuration snap = p->configuration();
+    const u64 states = p->num_states();
+
+    const TrapKernelSampler ref(*p, /*power=*/1);
+    std::map<std::string, double> expected;  // footprint -> κ mass
+    double total = 0;
+    for (StateId s = 0; s < states; ++s) {
+      if (snap.counts[s] == 0) continue;
+      for (StateId t = 0; t < states; ++t) {
+        const u64 pairs =
+            snap.counts[s] * (snap.counts[t] - (s == t ? u64{1} : u64{0}));
+        if (pairs == 0 || !pair_is_productive(*p, s, t)) continue;
+        const double mass =
+            static_cast<double>(pairs) * static_cast<double>(ref.kappa(s, t));
+        expected[pair_delta_bin(s, t, p->transition(s, t))] += mass;
+        total += mass;
+      }
+    }
+    ASSERT_GT(total, 0.0) << name;
+
+    const u64 kSamples = 20000;
+    std::map<std::string, u64> hits;
+    for (u64 it = 0; it < kSamples; ++it) {
+      p->reset(snap);
+      TrapKernelSampler ts(*p, /*power=*/1);
+      ts.fire(*p, rng);
+      const std::string bin = count_delta_bin(snap.counts, p->counts());
+      ASSERT_NE(expected.find(bin), expected.end())
+          << name << ": fired a pair outside the enumerated support: " << bin;
+      ++hits[bin];
+    }
+    double x2 = 0;
+    double cells = 0;
+    double pooled_e = 0;
+    u64 pooled_h = 0;
+    for (const auto& [bin, mass] : expected) {
+      const double e = static_cast<double>(kSamples) * mass / total;
+      if (e < 5.0) {
+        pooled_e += e;
+        pooled_h += hits[bin];
+        continue;
+      }
+      const double d = static_cast<double>(hits[bin]) - e;
+      x2 += d * d / e;
+      cells += 1;
+    }
+    if (pooled_e > 0) {
+      const double d = static_cast<double>(pooled_h) - pooled_e;
+      x2 += d * d / pooled_e;
+      cells += 1;
+    }
+    ASSERT_GT(cells, 1) << name;
+    EXPECT_LT(std::fabs(chi2_z(x2, cells - 1)), 6.0)
+        << name << " x2=" << x2 << " cells=" << cells;
+  }
+}
+
 // ---- dense vs hierarchical / sparse: whole-run cross-validation -----------
 
 RunResult run_weighted(const Scheduler& sched, u64 n, u64 seed,
                        const RunOptions& opt = {}) {
   ProtocolPtr p = make_protocol("ag", n);
+  Rng rng(seed);
+  p->reset(initial::uniform_random(*p, rng));
+  return sched.run(*p, rng, opt);
+}
+
+RunResult run_weighted_protocol(const Scheduler& sched, const std::string& name,
+                                u64 n, u64 seed, const RunOptions& opt = {}) {
+  ProtocolPtr p = make_protocol(name, n);
   Rng rng(seed);
   p->reset(initial::uniform_random(*p, rng));
   return sched.run(*p, rng, opt);
@@ -367,6 +619,51 @@ TEST(HierarchicalScale, WeightedRingDecayRunsAtHundredThousand) {
   EXPECT_GT(r.productive_steps, 0u);
 }
 
+TEST(HierarchicalScale, ExtraStateWeightedRunsAtHundredThousand) {
+  // The tentpole's headline: an extra-state protocol at n = 10^5 through
+  // the default weighted path.  Path::kAuto must pick the hierarchical
+  // sampler for line-of-traps (its declared extra-pair classes are
+  // supported), so a budget-capped run completes where the old dense-only
+  // routing could not even allocate.
+  const u64 n = preferred_population("line-of-traps", 100000);
+  EXPECT_GE(n, 90000u);
+  SchedulerSpec spec;
+  spec.kind = SchedulerKind::kWeighted;
+  spec.kernel = WeightKernel::kRingDecay;
+  const SchedulerPtr sched = make_scheduler(spec, n);
+  RunOptions opt;
+  opt.max_interactions = 5 * n;
+  const RunResult r =
+      run_weighted_protocol(*sched, "line-of-traps", n, /*seed=*/15, opt);
+  EXPECT_EQ(r.interactions, 5 * n);
+  EXPECT_FALSE(r.silent);
+  EXPECT_GT(r.productive_steps, 0u);
+}
+
+TEST(HierarchicalScale, TrapDecayRunsAtHundredThousand) {
+  // weighted[trap-decay] at n = 10^5: O(states) aggregates, O(√states)
+  // per event — a budget-capped run must complete, and the sampler's slot
+  // count must stay linear in the state count.
+  const u64 n = 100000;
+  {
+    ProtocolPtr p = make_protocol("ag", n);
+    Rng rng(16);
+    p->reset(initial::uniform_random(*p, rng));
+    const TrapKernelSampler ts(*p, /*power=*/1);
+    EXPECT_LE(ts.memory_slots(), 6 * p->num_states());
+  }
+  SchedulerSpec spec;
+  spec.kind = SchedulerKind::kWeighted;
+  spec.kernel = WeightKernel::kTrapDecay;
+  const SchedulerPtr sched = make_scheduler(spec, n);
+  RunOptions opt;
+  opt.max_interactions = 2 * n;
+  const RunResult r = run_weighted(*sched, n, /*seed=*/17, opt);
+  EXPECT_EQ(r.interactions, 2 * n);
+  EXPECT_FALSE(r.silent);
+  EXPECT_GT(r.productive_steps, 0u);
+}
+
 TEST(HierarchicalScale, SparseMarkovRunsAtHundredThousand) {
   const u64 n = 100000;
   SchedulerSpec spec;
@@ -398,6 +695,40 @@ TEST(HierarchicalPins, WeightedRingDecayTrajectory) {
   EXPECT_TRUE(r.silent);
   EXPECT_EQ(r.interactions, 13905u);
   EXPECT_EQ(r.productive_steps, 68u);
+}
+
+TEST(HierarchicalPins, WeightedRingDecayLineOfTrapsTrajectory) {
+  // Extra-state protocol through the grouped sampler's extra-class window:
+  // pins the combined rank+extra draw and the row-CDF partner inversion.
+  const WeightedScheduler sched(WeightKernel::kRingDecay);
+  const u64 n = preferred_population("line-of-traps", 72);
+  const RunResult r =
+      run_weighted_protocol(sched, "line-of-traps", n, /*seed=*/424242);
+  EXPECT_TRUE(r.silent);
+  EXPECT_EQ(r.interactions, 357260u);
+  EXPECT_EQ(r.productive_steps, 462u);
+}
+
+TEST(HierarchicalPins, WeightedRingDecayTreeRankingTrajectory) {
+  const WeightedScheduler sched(WeightKernel::kRingDecay);
+  const u64 n = preferred_population("tree-ranking", 72);
+  const RunResult r =
+      run_weighted_protocol(sched, "tree-ranking", n, /*seed=*/424242);
+  EXPECT_TRUE(r.silent);
+  EXPECT_EQ(r.interactions, 42014u);
+  EXPECT_EQ(r.productive_steps, 2660u);
+}
+
+TEST(HierarchicalPins, WeightedTrapDecayTrajectory) {
+  // Pins the trap sampler's single-draw firing (rank-diagonal vs
+  // extra-window split, trap scans) end to end.
+  const WeightedScheduler sched(WeightKernel::kTrapDecay);
+  const u64 n = preferred_population("line-of-traps", 72);
+  const RunResult r =
+      run_weighted_protocol(sched, "line-of-traps", n, /*seed=*/424242);
+  EXPECT_TRUE(r.silent);
+  EXPECT_EQ(r.interactions, 287366u);
+  EXPECT_EQ(r.productive_steps, 1431u);
 }
 
 TEST(HierarchicalPins, SparseMarkovTrajectory) {
