@@ -66,7 +66,7 @@ int run(const Context& ctx) {
       const u64 point_trials =
           policy == AdversaryPolicy::kRandomProductive ? trials : 1;
       const TrialSet set =
-          run_trials(spec, runner_options(ctx, point_trials), *ctx.pool);
+          run_trials_ctx(ctx, spec, runner_options(ctx, point_trials));
       warn_if_invalid(set, spec.label);
       emit_bench_json(ctx, spec, n, 0, set);
       row.cell(set.stats.timeouts == 0

@@ -12,6 +12,14 @@
 //                                    4096 so the large-n scale points stay
 //                                    opt-in for CI smoke steps, standard
 //                                    and full are uncapped)
+//   --cache-dir=D / POPRANK_CACHE_DIR   chunk-result cache root: points are
+//                                    split into chunks, cached on disk and
+//                                    resumed across invocations
+//                                    (src/service/)
+//   --service-workers=K / POPRANK_SERVICE_WORKERS   fan chunk computation
+//                                    out to K re-exec'd worker processes
+//                                    (requires --cache-dir; results stay
+//                                    bit-identical to K=0)
 //
 // Measurement points fan their trials out over the parallel runner
 // (src/runner/), whose per-trial seed streams make the numbers identical
@@ -46,6 +54,12 @@ struct Context {
   u64 threads = 0;  ///< runner pool size; 0 = hardware concurrency
   u64 max_n = 0;   ///< population cap; 0 = per-size default (see header)
   std::string csv_dir;
+  /// Sharded experiment service knobs (src/service/): a non-empty
+  /// cache_dir routes replayable measurement points through the chunk
+  /// cache, and service_workers > 0 additionally fans chunk computation
+  /// out to that many worker processes.  Both default off.
+  std::string cache_dir;
+  u64 service_workers = 0;
   BenchLog bench_log;  ///< machine-readable per-point records (one run/file)
   enum class Size { kQuick, kStandard, kFull } size = Size::kStandard;
 
@@ -118,6 +132,15 @@ TrialSpec make_spec(const std::string& label, u64 n,
 
 /// RunnerOptions matching the context's seed/threads knobs.
 RunnerOptions runner_options(const Context& ctx, u64 trials);
+
+/// The context-aware trial dispatcher every bench measurement point goes
+/// through: plain run_trials() on the context pool normally, the sharded
+/// service (run_trials_sharded: chunk cache + optional worker processes)
+/// when --cache-dir is set and the spec is replayable.  Non-replayable
+/// specs under an active cache fall back in-process with a stderr note —
+/// never silently.  Results are bit-identical either way.
+TrialSet run_trials_ctx(const Context& ctx, const TrialSpec& spec,
+                        const RunnerOptions& opt);
 
 /// Appends one machine-readable record for a measurement point to the
 /// run's BENCH_*.json (a JSON-lines file, truncated per run — see

@@ -118,7 +118,7 @@ int run(const Context& ctx) {
         spec.engine = EngineKind::kScheduled;
         spec.scheduler = sched;
         const TrialSet set =
-            run_trials(spec, runner_options(ctx, trials), *ctx.pool);
+            run_trials_ctx(ctx, spec, runner_options(ctx, trials));
         warn_if_invalid(set, spec.label);
         emit_bench_json(ctx, spec, n, 0, set);
         const Summary sum = set.summary();

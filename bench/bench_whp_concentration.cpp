@@ -56,7 +56,7 @@ int run(const Context& ctx) {
         [proto, n] { return make_protocol(proto, n); }, gen_uniform_random());
     spec.protocol = proto;  // descriptive only: the factory takes precedence
     const TrialSet set =
-        run_trials(spec, runner_options(ctx, trials), *ctx.pool);
+        run_trials_ctx(ctx, spec, runner_options(ctx, trials));
     warn_if_invalid(set, spec.label);
     emit_bench_json(ctx, spec, n, 0, set);
     if (sink) {

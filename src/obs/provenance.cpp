@@ -3,8 +3,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <sstream>
 
 #include "common/assert.hpp"
+#include "common/file_io.hpp"
 #include "runner/sink.hpp"  // json_escape
 
 // Build provenance, injected by CMake onto this translation unit only.
@@ -277,12 +279,14 @@ ManifestWriter ManifestWriter::open(const std::string& artifact_path,
 void ManifestWriter::append_point(const TrialSpec& spec, const TrialSet& set,
                                   u64 n, double param) const {
   if (!enabled()) return;
-  std::ofstream f(path_, std::ios::app);
-  if (!f.good()) return;
   const std::string kv = spec_to_kv(spec);
   const std::string model = spec.engine == EngineKind::kScheduled
                                 ? spec.scheduler.to_string()
                                 : engine_kind_name(spec.engine);
+  // Composed in memory, appended with one O_APPEND write: concurrent
+  // writers (service worker shards sharing a sidecar path) interleave
+  // whole records, never bytes within one (common/file_io.hpp).
+  std::ostringstream f;
   f << "{\"kind\":\"point\",\"label\":\"" << json_escape(spec.label)
     << "\",\"n\":" << n << ",\"param\":" << fmt_double(param)
     << ",\"master_seed\":" << set.master_seed
@@ -290,7 +294,8 @@ void ManifestWriter::append_point(const TrialSpec& spec, const TrialSet& set,
     << ",\"scheduler\":\"" << json_escape(model) << "\",\"spec\":\""
     << json_escape(kv) << "\",\"spec_hash\":\"" << spec_hash(spec)
     << "\",\"replayable\":" << (spec_is_replayable(spec) ? "true" : "false")
-    << ",\"counters\":" << set.counters.to_json() << "}\n";
+    << ",\"counters\":" << set.counters.to_json() << "}";
+  append_line(path_, f.str());
 }
 
 }  // namespace pp::obs

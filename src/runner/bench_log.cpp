@@ -4,8 +4,10 @@
 #include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 
 #include "analysis/table.hpp"
+#include "common/file_io.hpp"
 #include "rng/seed_sequence.hpp"
 #include "runner/sink.hpp"
 
@@ -52,8 +54,13 @@ void BenchLog::append_point(const std::string& point, u64 n, double param,
                             const TrialSet& set,
                             const TrialSpec* spec) const {
   if (!enabled()) return;
-  std::ofstream f(path_, std::ios::app);
-  if (!f.good()) return;  // open() already warned about the unwritable path
+  // The record is composed in memory and appended with one O_APPEND
+  // write (common/file_io.hpp): concurrent writers — service worker
+  // shards, or two benches pointed at one CSV dir — can interleave whole
+  // records but never bytes within one, so the JSON-lines file stays
+  // parseable.  (An ofstream in app mode flushes in unspecified slices
+  // and gives no such guarantee.)
+  std::ostringstream f;
   char num[40];
   f << "{\"kind\":\"point\",\"run_id\":" << run_id_ << ",\"point\":\""
     << json_escape(point) << "\",\"n\":" << n;
@@ -74,7 +81,8 @@ void BenchLog::append_point(const std::string& point, u64 n, double param,
   if (!set.counters.deterministic_empty()) {
     f << ",\"counters\":" << set.counters.to_json();
   }
-  f << "}\n";
+  f << "}";
+  append_line(path_, f.str());  // silently dropped if the path went bad
   if (spec != nullptr) manifest_.append_point(*spec, set, n, param);
 }
 

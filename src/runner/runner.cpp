@@ -137,6 +137,43 @@ TrialRecord run_one_trial(const TrialSpec& spec, u64 trial_index, u64 seed) {
   return run_one_trial_impl(spec, trial_index, seed, nullptr, nullptr);
 }
 
+TrialRange run_trial_range(const TrialSpec& spec, u64 master_seed, u64 begin,
+                           u64 end,
+                           const std::function<void(u64)>& after_trial) {
+  PP_ASSERT(begin <= end);
+  obs::init_from_env();
+  const SeedStream seeds(master_seed, spec.label);
+
+  // Same sharing discipline as run_trials(): expensive per-spec state
+  // (topologies, kernel tables) is built once per range, not per trial.
+  SchedulerPtr shared_scheduler;
+  if (spec.engine == EngineKind::kScheduled && begin < end) {
+    const ProtocolPtr probe = spec.resolve_factory()();
+    shared_scheduler = make_scheduler(spec.scheduler, probe->num_agents());
+  }
+
+  TrialRange out;
+  out.begin = begin;
+  out.end = end;
+  out.records.reserve(end - begin);
+  for (u64 t = begin; t < end; ++t) {
+#if PP_OBS
+    obs::CounterBlock block;
+    obs::CounterBlock* const block_ptr = &block;
+#else
+    obs::CounterBlock* const block_ptr = nullptr;
+#endif
+    out.records.push_back(run_one_trial_impl(spec, t, seeds.trial_seed(t),
+                                             shared_scheduler.get(),
+                                             block_ptr));
+#if PP_OBS
+    out.counters.merge(block);
+#endif
+    if (after_trial) after_trial(t);
+  }
+  return out;
+}
+
 TrialSet run_trials(const TrialSpec& spec, const RunnerOptions& opt,
                     ThreadPool& pool) {
   PP_ASSERT(opt.trials >= 1);

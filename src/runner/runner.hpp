@@ -17,6 +17,7 @@
 // and identical to a serial run with the same master seed.
 #pragma once
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -150,5 +151,32 @@ TrialSet run_trials(const TrialSpec& spec, const RunnerOptions& opt,
 /// Runs one trial of `spec` with an explicit seed — the replay tool behind
 /// TrialRecord::seed, also the kernel the parallel fan-out executes.
 TrialRecord run_one_trial(const TrialSpec& spec, u64 trial_index, u64 seed);
+
+/// One contiguous slice of a trial set — the unit a service worker shard
+/// computes (src/service/) and the unit the chunk-result cache stores.
+struct TrialRange {
+  u64 begin = 0;
+  u64 end = 0;  ///< exclusive
+  /// Records for trials [begin, end), ordered by trial index.
+  std::vector<TrialRecord> records;
+  /// Per-trial counter blocks merged in trial-index order (sums, so a
+  /// chunk-order merge of range counters equals the runner's trial-order
+  /// merge bit for bit).
+  obs::CounterBlock counters;
+};
+
+/// Runs trials [begin, end) of `spec` serially on the calling thread with
+/// the standard derive_seed(master_seed, label, trial) derivation — the
+/// same kernel run_trials() fans out, sharing one scheduler across the
+/// range the same way.  Because a trial's stream depends only on
+/// (master_seed, label, trial), folding the records of any partition of
+/// [0, trials) back together in trial-index order reproduces a
+/// single-process run_trials() bit for bit; that property is what makes
+/// results *machine-count* independent, not just thread-count independent.
+/// `after_trial(t)` (optional) fires after each trial completes — the
+/// service worker's lease-heartbeat hook.
+TrialRange run_trial_range(const TrialSpec& spec, u64 master_seed, u64 begin,
+                           u64 end,
+                           const std::function<void(u64)>& after_trial = {});
 
 }  // namespace pp

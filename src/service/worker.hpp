@@ -1,0 +1,64 @@
+// Worker shard of the sharded experiment service.
+//
+// A worker is the *same binary* as the coordinator, re-exec'd with
+// `--poprank-service-worker=<job-dir>`: any process that calls
+// maybe_run_worker() first thing in main() — bench_common::init() does,
+// and so does the service test binary — can serve as its own worker
+// fleet.  Workers therefore need nothing shipped to them but the job
+// directory: the job file carries the canonical spec serialisation
+// (obs/provenance spec_from_kv), the master seed and the chunk
+// partition, which is everything a chunk's records are a function of.
+//
+// Membership follows the multi-master cluster state machine the ROADMAP
+// points at (mmts-longrange node-status + refresh/recovery): a worker
+// registers kJoining → kOnline, heartbeats while it holds a lease, and
+// a worker whose previous incarnation died re-registers through
+// kRecovering before returning kOnline — its stale lease simply expires
+// and the chunk is claimed by whichever shard gets there first.  Status
+// transitions are appended to `workers/w<id>.status` so the whole
+// lifecycle is auditable after the run.
+//
+// Claim protocol (filesystem-backed, single machine):
+//   1. skip chunks whose result file already exists (cache hit — maybe
+//      from a previous sweep entirely);
+//   2. try to create `leases/chunk-<i>.lease` with O_CREAT|O_EXCL — the
+//      one-winner claim;
+//   3. run the chunk through the standard runner kernel
+//      (run_trial_range), touching the lease after every trial as the
+//      heartbeat the coordinator watches;
+//   4. publish the result with an atomic rename, release the lease.
+// Leases are liveness hints, not locks: if an expired-but-alive worker
+// races a reassigned chunk, both compute the same bytes and the rename
+// is atomic, so the cache stays consistent (chunk.hpp).
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+
+namespace pp::service {
+
+/// Worker membership states, after the mmts-longrange node-status
+/// machine: the normal path is kJoining → kOnline → kOffline; a worker
+/// re-registering over a previous incarnation's state file passes
+/// through kRecovering instead of kJoining.
+enum class NodeStatus { kJoining, kOnline, kRecovering, kOffline };
+
+const char* node_status_name(NodeStatus s);
+
+/// If argv carries `--poprank-service-worker=<job-dir>` this process IS a
+/// worker shard: runs the worker loop against that job directory and
+/// exits the process with the loop's status — it never returns.  Returns
+/// false (having touched nothing) otherwise.  Call it before any other
+/// initialisation: a worker must not open BENCH logs, sinks or thread
+/// pools meant for the coordinator role.
+bool maybe_run_worker(int argc, char** argv);
+
+/// The worker loop itself (exposed for the service tests; production
+/// entry is maybe_run_worker).  Returns the process exit status.
+int worker_main(const std::string& job_dir, u64 worker_id);
+
+/// nanosleep wrapper used by the service's polling loops.
+void sleep_ms(u64 ms);
+
+}  // namespace pp::service

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Docs-consistency gate: the operational docs must track the code.
+
+Three checks, all computed from the sources (stdlib only, no build
+needed), run under `ctest -L lint`:
+
+  D1  Every POPRANK_* token referenced anywhere in src/, bench/ or
+      CMakeLists.txt (environment variables and CMake options share the
+      prefix) is documented in docs/RUNBOOK.md.  A knob someone added
+      without a runbook row fails the gate.
+
+  D2  Every scheduler name returned by scheduler_kind_name()
+      (src/schedulers/scheduler.cpp) appears in the README's scheduler
+      matrix (a table row mentioning the name in backticks).  A
+      scheduler added to the enum without a matrix row fails the gate.
+
+  D3  README.md links both docs/ARCHITECTURE.md and docs/RUNBOOK.md, so
+      the documents stay discoverable from the front page.
+
+Usage: check_docs_consistency.py [repo-root]
+"""
+
+import re
+import sys
+from pathlib import Path
+
+TOKEN_RE = re.compile(r"POPRANK_[A-Z0-9_]+")
+# `return "uniform";` lines inside scheduler_kind_name().
+KIND_NAME_RE = re.compile(r'return "([a-z0-9-]+)";')
+
+
+def collect_tokens(root: Path) -> set:
+    tokens = set()
+    files = [root / "CMakeLists.txt"]
+    for sub in ("src", "bench"):
+        files.extend(sorted((root / sub).rglob("*")))
+    for path in files:
+        if not path.is_file():
+            continue
+        if path.suffix not in {".hpp", ".cpp", ".h", ".py", ".txt"}:
+            continue
+        tokens.update(TOKEN_RE.findall(path.read_text(errors="replace")))
+    return tokens
+
+
+def scheduler_names(root: Path) -> list:
+    text = (root / "src/schedulers/scheduler.cpp").read_text()
+    # Scope the scan to the scheduler_kind_name function body: from its
+    # signature to the first closing brace at column zero.
+    start = text.index("scheduler_kind_name(SchedulerKind")
+    end = text.index("\n}", start)
+    names = KIND_NAME_RE.findall(text[start:end])
+    return [n for n in names if n != "?"]
+
+
+def main() -> int:
+    root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(
+        __file__).resolve().parents[2]
+    problems = []
+
+    runbook_path = root / "docs/RUNBOOK.md"
+    runbook = runbook_path.read_text() if runbook_path.is_file() else ""
+    if not runbook:
+        problems.append("D1: docs/RUNBOOK.md is missing")
+    for token in sorted(collect_tokens(root)):
+        if token not in runbook:
+            problems.append(
+                f"D1: {token} is referenced in the sources but not "
+                "documented in docs/RUNBOOK.md")
+
+    readme = (root / "README.md").read_text()
+    matrix_rows = "\n".join(
+        line for line in readme.splitlines() if line.startswith("| `"))
+    for name in scheduler_names(root):
+        if f"`{name}`" not in matrix_rows and f"`{name}[" not in matrix_rows:
+            problems.append(
+                f"D2: scheduler '{name}' (scheduler_kind_name) has no row "
+                "in the README scheduler matrix")
+
+    for doc in ("docs/ARCHITECTURE.md", "docs/RUNBOOK.md"):
+        if doc not in readme:
+            problems.append(f"D3: README.md does not link {doc}")
+        if not (root / doc).is_file():
+            problems.append(f"D3: {doc} is missing")
+
+    if problems:
+        for p in problems:
+            print(p)
+        print(f"\ndocs-consistency: {len(problems)} problem(s)")
+        return 1
+    print("docs-consistency: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
